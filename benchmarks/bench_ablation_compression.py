@@ -1,0 +1,72 @@
+"""Ablation — the value of the compression stage (Algorithm 1).
+
+DESIGN.md calls compression out as the design choice that makes
+function-level offloading tractable: it shrinks the cut problem by an
+order of magnitude *and* protects highly coupled functions from being
+separated.  This bench cuts the same workload with and without
+compression and reports both runtime and scheme quality.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner, spectral_cut_strategy
+from repro.core.config import PlannerConfig
+from repro.core.planner import OffloadingPlanner
+from repro.experiments.reporting import render_table
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.utils.timer import time_call
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+def test_ablation_compression(benchmark):
+    profile = bench_profile()
+    size = profile.graph_sizes[len(profile.graph_sizes) // 2]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    call_graph = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    device = MobileDevice("user00000", profile=profile.device)
+    system = MECSystem(
+        EdgeServer(profile.server_capacity_per_user), [UserContext(device, call_graph)]
+    )
+
+    compressed_planner = make_planner("spectral")
+    raw_planner = OffloadingPlanner(
+        spectral_cut_strategy(),
+        config=PlannerConfig(skip_compression=True),
+        strategy_name="spectral-raw",
+    )
+
+    benchmark.pedantic(
+        lambda: compressed_planner.plan_user(call_graph), rounds=3, iterations=1
+    )
+
+    rows = []
+    for planner in (compressed_planner, raw_planner):
+        result, seconds = time_call(
+            planner.plan_system, system, {"user00000": call_graph}
+        )
+        plan = result.user_plans["user00000"]
+        rows.append(
+            [
+                planner.strategy_name,
+                plan.compressed_nodes,
+                f"{seconds:.3f}s",
+                result.consumption.energy,
+                result.consumption.time,
+            ]
+        )
+    print("\n=== Ablation: compression on vs off (same workload) ===")
+    print(
+        render_table(
+            ["pipeline", "cut problem nodes", "plan time", "energy E", "time T"], rows
+        )
+    )
+    # Compression must shrink the cut problem by a large factor.
+    assert rows[0][1] * 3 <= rows[1][1]

@@ -1,0 +1,72 @@
+"""Ablation — Algorithm 1's LPA compression vs heavy-edge coarsening.
+
+Two ways to shrink a function data flow graph before cutting: the paper's
+threshold-guided label propagation (structure-aware: merges exactly the
+highly coupled neighborhoods) and the multilevel literature's heavy-edge
+matching (size-driven: halves the graph per level until a target).  This
+bench compresses identical workloads with both and compares size,
+residual edge weight (traffic still cuttable — lower means more traffic
+was safely internalised), and runtime.
+"""
+
+from __future__ import annotations
+
+from repro.compression import GraphCompressor
+from repro.experiments.reporting import render_table
+from repro.graphs.coarsening import coarsening_as_compression
+from repro.utils.timer import time_call
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+def test_ablation_compression_methods(benchmark):
+    profile = bench_profile()
+    size = profile.graph_sizes[-1]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    offloadable = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    ).offloadable_subgraph()
+
+    compressor = GraphCompressor()
+    benchmark.pedantic(lambda: compressor.compress(offloadable), rounds=3, iterations=1)
+
+    lpa_result, lpa_seconds = time_call(compressor.compress, offloadable)
+    lpa = lpa_result.compressed
+
+    hem_target = lpa.graph.node_count  # same size budget for fairness
+    hem, hem_seconds = time_call(
+        coarsening_as_compression, offloadable, hem_target, profile.seed
+    )
+
+    rows = [
+        [
+            "label propagation (Alg. 1)",
+            lpa.graph.node_count,
+            lpa.graph.edge_count,
+            lpa.graph.total_edge_weight(),
+            f"{lpa_seconds:.3f}s",
+        ],
+        [
+            "heavy-edge coarsening",
+            hem.graph.node_count,
+            hem.graph.edge_count,
+            hem.graph.total_edge_weight(),
+            f"{hem_seconds:.3f}s",
+        ],
+    ]
+    print("\n=== Ablation: compression methods on the same workload ===")
+    print(
+        render_table(
+            ["method", "nodes after", "edges after", "residual edge weight", "time"],
+            rows,
+        )
+    )
+    # Both conserve computation weight (up to summation order).
+    assert abs(lpa.graph.total_node_weight() - hem.graph.total_node_weight()) < 1e-6
+    # LPA's threshold rule targets coupled traffic: at an equal node
+    # budget its residual (cuttable) edge weight must not be higher.
+    assert lpa.graph.total_edge_weight() <= hem.graph.total_edge_weight() * 1.05

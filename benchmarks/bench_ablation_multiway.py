@@ -1,0 +1,80 @@
+"""Ablation — bisection vs recursive multiway partitioning.
+
+The paper cuts each compressed sub-graph exactly once; the multiway
+extension (:mod:`repro.spectral.recursive`) keeps splitting while splits
+stay cheap, giving Algorithm 2 finer placement granularity.  This bench
+measures what that granularity buys (combined objective) and costs
+(planning time) on one workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner, spectral_cut_strategy
+from repro.core.config import PlannerConfig
+from repro.core.planner import OffloadingPlanner
+from repro.experiments.reporting import render_table
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.utils.timer import time_call
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+def test_ablation_multiway(benchmark):
+    profile = bench_profile()
+    size = profile.graph_sizes[len(profile.graph_sizes) // 2]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    call_graph = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    device = MobileDevice("user00000", profile=profile.device)
+    system = MECSystem(
+        EdgeServer(profile.server_capacity_per_user), [UserContext(device, call_graph)]
+    )
+
+    def planner_for(k: int) -> OffloadingPlanner:
+        if k <= 2:
+            return make_planner("spectral")
+        return OffloadingPlanner(
+            spectral_cut_strategy(),
+            config=PlannerConfig(multiway_parts=k),
+            strategy_name=f"spectral-{k}way",
+        )
+
+    benchmark.pedantic(
+        lambda: planner_for(4).plan_system(system, {"user00000": call_graph}),
+        rounds=2,
+        iterations=1,
+    )
+
+    rows = []
+    combined: dict[int, float] = {}
+    for k in (2, 4, 8):
+        planner = planner_for(k)
+        result, seconds = time_call(
+            planner.plan_system, system, {"user00000": call_graph}
+        )
+        parts = sum(len(plan.parts) for plan in result.user_plans.values())
+        combined[k] = result.consumption.combined()
+        rows.append(
+            [
+                f"{k}-way",
+                parts,
+                result.consumption.energy,
+                result.consumption.time,
+                combined[k],
+                f"{seconds:.3f}s",
+            ]
+        )
+    print("\n=== Ablation: placement granularity (parts per sub-graph) ===")
+    print(
+        render_table(
+            ["mode", "total parts", "energy E", "time T", "E+T", "plan time"], rows
+        )
+    )
+    # Finer granularity must not substantially hurt the objective.
+    assert combined[8] <= combined[2] * 1.1

@@ -1,0 +1,49 @@
+"""Capstone bench — the reproduction ledger.
+
+Checks every qualitative claim of the paper's evaluation against the
+measurements the other benches share (the session-scoped sweeps), and
+prints the pass/fail ledger.  This is the bench whose assertion *is* the
+reproduction: all eight claims must hold at the active profile.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.claims import Measurements, check_claims
+from repro.experiments.reporting import render_table
+from repro.experiments.table1 import run_table1
+from repro.workloads.netgen import NetgenConfig
+
+from conftest import bench_profile
+
+
+def test_claims_ledger(benchmark, single_user_rows, multiuser_rows, timing_rows):
+    profile = bench_profile()
+    configs = [
+        NetgenConfig(n_nodes=s, n_edges=profile.edges_for(s), seed=profile.seed)
+        for s in profile.graph_sizes
+    ]
+    table1 = run_table1(configs)
+    measurements = Measurements(
+        table1=table1,
+        single_user=single_user_rows,
+        multi_user=multiuser_rows,
+        timing=timing_rows,
+    )
+
+    ledger = benchmark.pedantic(
+        lambda: check_claims(measurements), rounds=3, iterations=1
+    )
+
+    print("\n=== Reproduction ledger: the paper's claims, checked by code ===")
+    print(
+        render_table(
+            ["claim", "statement", "verdict", "evidence"],
+            [
+                [c.claim_id, c.statement, "PASS" if c.passed else "FAIL", c.detail]
+                for c in ledger
+            ],
+        )
+    )
+    failures = [c for c in ledger if not c.passed]
+    print(f"{len(ledger) - len(failures)}/{len(ledger)} claims reproduced")
+    assert not failures, [c.claim_id for c in failures]

@@ -1,0 +1,55 @@
+"""Figure 3 — local energy consumption vs graph size (single user).
+
+Regenerates the normalized local-energy series for the three algorithms
+and benchmarks the full spectral pipeline on the largest graph size.
+
+Paper's shape: local energy grows with graph size; our (spectral)
+algorithm sits below the baselines at the large end.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile, print_figure
+
+
+def test_fig3_local_energy(benchmark, single_user_rows):
+    profile = bench_profile()
+    size = profile.graph_sizes[-1]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    call_graph = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    device = MobileDevice("user00000", profile=profile.device)
+    system = MECSystem(
+        EdgeServer(profile.server_capacity_per_user), [UserContext(device, call_graph)]
+    )
+    planner = make_planner("spectral")
+
+    benchmark.pedantic(
+        lambda: planner.plan_system(system, {"user00000": call_graph}),
+        rounds=3,
+        iterations=1,
+    )
+
+    print_figure(
+        "Figure 3: local energy consumption (single user)",
+        single_user_rows,
+        lambda r: r.local_energy,
+    )
+    # Shape checks: growth with size for every algorithm.
+    by_alg: dict[str, list[float]] = {}
+    for row in single_user_rows:
+        by_alg.setdefault(row.algorithm, []).append(row.local_energy)
+    for series in by_alg.values():
+        assert series[-1] > series[0]
+    # Ours below max-flow at the largest size (the paper's ordering).
+    largest = {r.algorithm: r.local_energy for r in single_user_rows if r.scale == size}
+    assert largest["spectral"] < largest["maxflow"]

@@ -1,0 +1,44 @@
+"""Figure 4 — transmission energy consumption vs graph size (single user).
+
+Regenerates the normalized transmission-energy series and benchmarks the
+cut stage (compression + spectral bisection of every sub-graph) that the
+transmission cost depends on.
+
+Paper's shape: transmission energy grows with graph size; our algorithm
+transmits less than Kernighan-Lin everywhere (the spectral cut is the
+lighter cut).
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile, print_figure
+
+
+def test_fig4_transmission_energy(benchmark, single_user_rows):
+    profile = bench_profile()
+    size = profile.graph_sizes[-1]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    call_graph = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    planner = make_planner("spectral")
+
+    benchmark.pedantic(lambda: planner.plan_user(call_graph), rounds=3, iterations=1)
+
+    print_figure(
+        "Figure 4: transmission energy consumption (single user)",
+        single_user_rows,
+        lambda r: r.transmission_energy,
+    )
+    # Ours transmits less than KL at every size (cut quality).
+    by_scale: dict[int, dict[str, float]] = {}
+    for row in single_user_rows:
+        by_scale.setdefault(row.scale, {})[row.algorithm] = row.transmission_energy
+    for scale, algs in by_scale.items():
+        assert algs["spectral"] <= algs["kl"] + 1e-9, f"KL beat spectral at {scale}"

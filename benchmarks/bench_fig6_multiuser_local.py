@@ -1,0 +1,45 @@
+"""Figure 6 — local energy consumption under multi-user conditions.
+
+Regenerates the normalized local-energy series as user count grows (fixed
+per-user graph size) and benchmarks the system-wide greedy placement at
+the largest user count.
+
+Paper's shape: consistent with the single-user case — consumption grows
+with user count, our algorithm below the max-flow baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.workloads.multiuser import build_mec_system
+
+from conftest import bench_profile, print_figure
+
+
+def test_fig6_multiuser_local_energy(benchmark, multiuser_rows):
+    profile = bench_profile()
+    n_users = profile.user_counts[-1]
+    workload = build_mec_system(n_users, profile)
+    planner = make_planner("spectral")
+
+    benchmark.pedantic(
+        lambda: planner.plan_system(workload.system, workload.call_graphs),
+        rounds=2,
+        iterations=1,
+    )
+
+    print_figure(
+        "Figure 6: local energy consumption (multi-user)",
+        multiuser_rows,
+        lambda r: r.local_energy,
+    )
+    by_scale: dict[int, dict[str, float]] = {}
+    for row in multiuser_rows:
+        by_scale.setdefault(row.scale, {})[row.algorithm] = row.local_energy
+    # Growth with user count for every algorithm.
+    for algorithm in ("spectral", "maxflow", "kl"):
+        series = [by_scale[scale][algorithm] for scale in sorted(by_scale)]
+        assert series[-1] > series[0]
+    # Ours below max-flow (which under-offloads) at the largest count.
+    largest = by_scale[max(by_scale)]
+    assert largest["spectral"] < largest["maxflow"]

@@ -1,0 +1,39 @@
+"""Figure 7 — transmission energy consumption under multi-user conditions.
+
+Regenerates the normalized transmission-energy series as user count grows
+and benchmarks planning for the mid-size user count.
+
+Paper's shape: transmission grows with user count; our algorithm
+transmits less than Kernighan-Lin at every scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.workloads.multiuser import build_mec_system
+
+from conftest import bench_profile, print_figure
+
+
+def test_fig7_multiuser_transmission_energy(benchmark, multiuser_rows):
+    profile = bench_profile()
+    n_users = profile.user_counts[len(profile.user_counts) // 2]
+    workload = build_mec_system(n_users, profile)
+    planner = make_planner("spectral")
+
+    benchmark.pedantic(
+        lambda: planner.plan_system(workload.system, workload.call_graphs),
+        rounds=2,
+        iterations=1,
+    )
+
+    print_figure(
+        "Figure 7: transmission energy consumption (multi-user)",
+        multiuser_rows,
+        lambda r: r.transmission_energy,
+    )
+    by_scale: dict[int, dict[str, float]] = {}
+    for row in multiuser_rows:
+        by_scale.setdefault(row.scale, {})[row.algorithm] = row.transmission_energy
+    for scale, algs in by_scale.items():
+        assert algs["spectral"] <= algs["kl"] + 1e-9, f"KL beat spectral at {scale}"

@@ -1,0 +1,40 @@
+"""Figure 8 — total energy consumption under multi-user conditions.
+
+Regenerates the normalized total-energy series (the paper's headline
+multi-user result) and benchmarks the Kernighan-Lin pipeline for
+comparison with Figure 6's spectral benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.workloads.multiuser import build_mec_system
+
+from conftest import bench_profile, print_figure
+
+
+def test_fig8_multiuser_total_energy(benchmark, multiuser_rows):
+    profile = bench_profile()
+    n_users = profile.user_counts[-1]
+    workload = build_mec_system(n_users, profile)
+    planner = make_planner("kl")
+
+    benchmark.pedantic(
+        lambda: planner.plan_system(workload.system, workload.call_graphs),
+        rounds=2,
+        iterations=1,
+    )
+
+    print_figure(
+        "Figure 8: total energy consumption (multi-user)",
+        multiuser_rows,
+        lambda r: r.total_energy,
+    )
+    by_scale: dict[int, dict[str, float]] = {}
+    for row in multiuser_rows:
+        by_scale.setdefault(row.scale, {})[row.algorithm] = row.total_energy
+    # Ours wins total energy at every user count (the paper's Fig. 8).
+    for scale, algs in by_scale.items():
+        assert algs["spectral"] <= min(algs["maxflow"], algs["kl"]) + 1e-9, (
+            f"spectral not best at {scale} users: {algs}"
+        )

@@ -1,0 +1,58 @@
+"""Figure 9 — execution time of the four series vs graph size.
+
+Regenerates the running-time comparison: the spectral pipeline with the
+naive dense power-iteration eigensolver ("without Spark"), the two
+baselines, and the spectral pipeline with cluster-distributed mat-vecs
+("with Spark").
+
+Paper's shape: the naive spectral series grows fastest (the time goes
+into repeated matrix multiplications); distributing those products pulls
+the spectral series back toward the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import OffloadingPlanner
+from repro.experiments.reporting import render_table
+from repro.spectral.fiedler import FiedlerMethod, FiedlerSolver
+from repro.core.baselines import spectral_cut_strategy
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+def test_fig9_running_time(benchmark, timing_rows):
+    profile = bench_profile()
+    size = profile.graph_sizes[-1]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    call_graph = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    naive = OffloadingPlanner(
+        spectral_cut_strategy(FiedlerSolver(method=FiedlerMethod.POWER)),
+        strategy_name="spectral-power",
+    )
+
+    benchmark.pedantic(lambda: naive.plan_user(call_graph), rounds=3, iterations=1)
+
+    print("\n=== Figure 9: execution time (seconds per application plan) ===")
+    print(
+        render_table(
+            ["algorithm", "graph size", "seconds", "repeats"],
+            [[r.algorithm, r.graph_size, r.seconds, r.repeats] for r in timing_rows],
+        )
+    )
+    by_alg: dict[str, dict[int, float]] = {}
+    for row in timing_rows:
+        by_alg.setdefault(row.algorithm, {})[row.graph_size] = row.seconds
+    largest = max(by_alg["spectral-power"])
+    # All series measured at every size.
+    assert set(by_alg) == {"spectral-power", "maxflow", "kl", "spectral-spark"}
+    for series in by_alg.values():
+        assert set(series) == set(profile.graph_sizes)
+    # Every series grows with graph size.
+    for name, series in by_alg.items():
+        assert series[largest] > series[min(series)], f"{name} did not grow"

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the core substrates (performance regression suite).
+
+Not a paper artifact: these pin the throughput of the hot operations the
+pipeline is built from — graph mutation, compression, the Fiedler
+backends, max-flow, and the greedy evaluator — so a performance
+regression in any substrate shows up as a benchmark delta rather than as
+a mysteriously slow evaluation run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import GraphCompressor
+from repro.graphs.components import largest_component
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mincut.edmonds_karp import edmonds_karp
+from repro.mincut.st_selection import select_source_sink
+from repro.spectral.fiedler import FiedlerSolver
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    profile = bench_profile()
+    size = profile.graph_sizes[min(1, len(profile.graph_sizes) - 1)]
+    graph = netgen_graph(
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+    )
+    return profile, graph
+
+
+def test_micro_graph_construction(benchmark, workload):
+    _, graph = workload
+    edges = graph.edge_list()
+    weights = {n: graph.node_weight(n) for n in graph.nodes()}
+
+    def build():
+        g = WeightedGraph()
+        for node, weight in weights.items():
+            g.add_node(node, weight=weight)
+        for u, v, w in edges:
+            g.add_edge(u, v, weight=w)
+        return g
+
+    result = benchmark(build)
+    assert result.edge_count == graph.edge_count
+
+
+def test_micro_compression(benchmark, workload):
+    _, graph = workload
+    compressor = GraphCompressor()
+    result = benchmark(lambda: compressor.compress(graph))
+    assert result.compressed.graph.node_count < graph.node_count
+
+
+@pytest.mark.parametrize("method", ["dense", "lanczos", "power"])
+def test_micro_fiedler_backends(benchmark, workload, method):
+    _, graph = workload
+    compressed = GraphCompressor().compress(graph).compressed.graph
+    component = compressed.subgraph(largest_component(compressed))
+    solver = FiedlerSolver(method=method)
+    result = benchmark(lambda: solver.solve(component))
+    assert result.value >= 0.0
+
+
+def test_micro_maxflow(benchmark, workload):
+    _, graph = workload
+    compressed = GraphCompressor().compress(graph).compressed.graph
+    component = compressed.subgraph(largest_component(compressed))
+    source, sink = select_source_sink(component)
+    result = benchmark(lambda: edmonds_karp(component, source, sink))
+    assert result.value >= 0.0
+
+
+def test_micro_greedy_evaluator(benchmark, workload):
+    from repro.mec.devices import EdgeServer, MobileDevice
+    from repro.mec.greedy import PlacementEvaluator, initial_placement
+    from repro.mec.objective import ObjectiveWeights
+    from repro.mec.scheme import PartitionedApplication
+    from repro.mec.system import MECSystem, UserContext
+    from repro.core import make_planner
+
+    profile, graph = workload
+    app = call_graph_from_weighted_graph(
+        graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    device = MobileDevice("u1", profile=profile.device)
+    system = MECSystem(
+        EdgeServer(profile.server_capacity_per_user), [UserContext(device, app)]
+    )
+    plan = make_planner("spectral").plan_user(app)
+    papp = PartitionedApplication("u1", app, plan.parts)
+    apps = {"u1": papp}
+    placement = initial_placement(apps, {"u1": plan.bisections})
+    evaluator = PlacementEvaluator(system, apps, placement, ObjectiveWeights())
+    candidates = evaluator.candidates()
+    assert candidates
+
+    def evaluate_all():
+        return [evaluator.evaluate_move(u, p) for u, p in candidates]
+
+    values = benchmark(evaluate_all)
+    assert len(values) == len(candidates)

@@ -1,0 +1,61 @@
+"""Extension bench — planner robustness across graph topologies.
+
+The reproduction workloads are NETGEN-shaped (clustered, multi-component).
+This bench re-runs the three-algorithm comparison on three classic random
+models — structureless G(n, p), hub-dominated Barabási-Albert, and
+small-world Watts-Strogatz — asking which conclusions survive a change
+of topology and which are NETGEN artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.experiments.reporting import render_table
+from repro.experiments.topologies import (
+    build_topology_graph,
+    run_topology_experiment,
+    winners_by_topology,
+)
+from repro.workloads.applications import call_graph_from_weighted_graph
+
+from conftest import bench_profile
+
+
+def test_robustness_across_topologies(benchmark):
+    profile = bench_profile()
+    size = profile.graph_sizes[min(1, len(profile.graph_sizes) - 1)]
+
+    ba_graph = build_topology_graph(
+        "barabasi-albert", size, profile.edges_for(size), profile.seed
+    )
+    ba_app = call_graph_from_weighted_graph(
+        ba_graph, unoffloadable_fraction=profile.unoffloadable_fraction, seed=profile.seed
+    )
+    benchmark.pedantic(
+        lambda: make_planner("spectral").plan_user(ba_app), rounds=3, iterations=1
+    )
+
+    rows = run_topology_experiment(profile, size=size)
+    print("\n=== Robustness: three algorithms x four topologies ===")
+    print(
+        render_table(
+            ["topology", "algorithm", "local E", "tx E", "total E", "E+T", "offloaded"],
+            [
+                [
+                    r.topology,
+                    r.algorithm,
+                    r.local_energy,
+                    r.transmission_energy,
+                    r.total_energy,
+                    r.combined,
+                    r.offloaded_functions,
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print("winner by combined objective:", winners_by_topology(rows))
+
+    # Every planner handled every topology with a positive outcome.
+    assert len(rows) == 4 * 3
+    assert all(r.total_energy > 0 for r in rows)

@@ -1,0 +1,61 @@
+"""Extension bench — physical-parameter sensitivity and crossovers.
+
+Not a paper figure: the evaluation an operator runs before believing one.
+Sweeps transmission power and server capacity around the profile
+defaults, reports the offloaded fraction at each point and the crossover
+multiplier where offloading collapses.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import render_table
+from repro.experiments.sensitivity import find_crossover, run_sensitivity_experiment
+
+from conftest import bench_profile
+
+
+def test_sensitivity_sweeps(benchmark):
+    profile = bench_profile()
+    size = profile.graph_sizes[len(profile.graph_sizes) // 2]
+
+    benchmark.pedantic(
+        lambda: run_sensitivity_experiment(
+            "power_transmit", profile=profile, graph_size=size, multipliers=(1.0,)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    crossovers = {}
+    for parameter in ("power_transmit", "server_capacity"):
+        sweep = run_sensitivity_experiment(
+            parameter, profile=profile, graph_size=size
+        )
+        crossovers[parameter] = find_crossover(sweep)
+        for r in sweep:
+            rows.append(
+                [
+                    r.parameter,
+                    r.multiplier,
+                    f"{100 * r.offloaded_fraction:.1f}%",
+                    r.total_energy,
+                    r.total_time,
+                ]
+            )
+    print("\n=== Sensitivity: offloading vs physical parameters ===")
+    print(
+        render_table(
+            ["parameter", "x default", "offloaded", "total E", "total T"], rows
+        )
+    )
+    for parameter, crossover in crossovers.items():
+        note = f"collapses at {crossover}x" if crossover else "survives the sweep"
+        print(f"{parameter}: {note}")
+
+    by_parameter: dict[str, list[float]] = {}
+    for row in rows:
+        by_parameter.setdefault(row[0], []).append(float(row[2].rstrip("%")))
+    # Raising radio cost can only reduce offloading.
+    tx = by_parameter["power_transmit"]
+    assert tx[0] >= tx[-1]

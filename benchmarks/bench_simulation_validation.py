@@ -1,0 +1,71 @@
+"""Extension bench — the event simulator validates the analytic model.
+
+Plans a multi-user system, executes the plan on the discrete-event
+engine, and compares measured energy against the closed-form totals the
+planner optimised (they must agree exactly under healthy conditions —
+both are duration x power over the same durations).  Also reports the
+simulator's event throughput, the figure that bounds how large a
+scenario the engine can replay.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import make_planner
+from repro.experiments.reporting import render_table
+from repro.mec.scheme import PartitionedApplication
+from repro.simulation import simulate_scheme
+from repro.utils.timer import time_call
+from repro.workloads.multiuser import build_mec_system, poisson_arrivals
+
+from conftest import bench_profile
+
+
+def test_simulation_validates_analytic_model(benchmark):
+    profile = bench_profile()
+    n_users = profile.user_counts[len(profile.user_counts) // 2]
+    workload = build_mec_system(n_users, profile)
+    planner = make_planner("spectral")
+    result = planner.plan_system(workload.system, workload.call_graphs)
+
+    apps = {
+        user_id: PartitionedApplication(
+            user_id, graph, result.user_plans[user_id].parts
+        )
+        for user_id, graph in workload.call_graphs.items()
+    }
+    placement = result.greedy.remote_parts
+
+    report = benchmark.pedantic(
+        lambda: simulate_scheme(workload.system, apps, placement),
+        rounds=3,
+        iterations=1,
+    )
+    report, seconds = time_call(simulate_scheme, workload.system, apps, placement)
+
+    arrivals = poisson_arrivals(sorted(apps), rate=5.0, seed=profile.seed)
+    staggered, _ = time_call(
+        simulate_scheme, workload.system, apps, placement, (), None, arrivals
+    )
+
+    rows = [
+        ["users", n_users, ""],
+        ["events processed", report.events_processed, ""],
+        ["events/second", f"{report.events_processed / max(seconds, 1e-9):,.0f}", ""],
+        ["analytic E", result.consumption.energy, ""],
+        ["simulated E (batch arrivals)", report.total_energy, ""],
+        ["simulated E (Poisson arrivals)", staggered.total_energy, ""],
+        ["makespan (batch)", report.makespan, "s"],
+        ["makespan (Poisson)", staggered.makespan, "s"],
+        ["server utilization (batch)", f"{100 * report.server_utilization:.1f}%", ""],
+    ]
+    print("\n=== Simulation vs analytic model ===")
+    print(render_table(["metric", "value", "unit"], rows))
+
+    # The validation: measured energy equals the optimised energy.
+    assert abs(report.total_energy - result.consumption.energy) < 1e-6 * max(
+        1.0, result.consumption.energy
+    )
+    # Arrival staggering cannot change energy (same work, same rates).
+    assert abs(staggered.total_energy - report.total_energy) < 1e-6 * max(
+        1.0, report.total_energy
+    )

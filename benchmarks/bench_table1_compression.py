@@ -1,0 +1,65 @@
+"""Table I — graph compression results.
+
+Regenerates the paper's compression table (function/edge counts before and
+after compression for each network) and benchmarks the compression stage
+on the largest quick-profile network.
+
+Paper's claim: the scale is "reduced a lot", the ratio grows with graph
+size, and the 5000-node network loses more than 90 % of its nodes.
+"""
+
+from __future__ import annotations
+
+from repro.compression import GraphCompressor
+from repro.experiments.reporting import render_table
+from repro.experiments.table1 import run_table1
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+from conftest import bench_profile
+
+
+def _configs() -> list[NetgenConfig]:
+    profile = bench_profile()
+    return [
+        NetgenConfig(n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed)
+        for size in profile.graph_sizes
+    ]
+
+
+def test_table1_compression(benchmark):
+    configs = _configs()
+    largest = configs[-1]
+    graph = netgen_graph(largest)
+    compressor = GraphCompressor()
+
+    benchmark.pedantic(lambda: compressor.compress(graph), rounds=3, iterations=1)
+
+    rows = run_table1(configs)
+    print("\n=== Table I: graph compression results ===")
+    print(
+        render_table(
+            [
+                "Network",
+                "function number",
+                "edge number",
+                "functions after",
+                "edges after",
+                "node reduction",
+            ],
+            [
+                [
+                    r.network,
+                    r.function_number,
+                    r.edge_number,
+                    r.function_number_after,
+                    r.edge_number_after,
+                    f"{100 * r.node_reduction:.1f}%",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # Reproduction assertions: heavy reduction, growing with size.
+    assert rows[-1].node_reduction > 0.75
+    ratios = [r.function_number / r.function_number_after for r in rows]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,66 @@
+"""Shared state for the benchmark suite.
+
+The figure benches share one experiment sweep per family (Figs. 3-5 share
+the single-user sweep; Figs. 6-8 the multi-user sweep) through
+session-scoped fixtures, so the suite regenerates every figure while
+running each underlying experiment exactly once.
+
+Scales: the ``quick`` profile by default; set ``REPRO_FULL=1`` to run the
+paper's full scales (hours of CPU).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import (
+    run_multiuser_energy_experiment,
+    run_single_user_energy_experiment,
+)
+from repro.experiments.timing import run_timing_experiment
+from repro.workloads.profiles import paper_profile, quick_profile
+
+
+def bench_profile():
+    """The active experiment profile (quick unless REPRO_FULL=1)."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return paper_profile()
+    return quick_profile()
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return bench_profile()
+
+
+@pytest.fixture(scope="session")
+def single_user_rows(profile):
+    """One shared single-user sweep (Figs. 3, 4, 5)."""
+    return run_single_user_energy_experiment(profile)
+
+
+@pytest.fixture(scope="session")
+def multiuser_rows(profile):
+    """One shared multi-user sweep (Figs. 6, 7, 8)."""
+    return run_multiuser_energy_experiment(profile)
+
+
+@pytest.fixture(scope="session")
+def timing_rows(profile):
+    """One shared running-time sweep (Fig. 9)."""
+    return run_timing_experiment(profile, repeats=2)
+
+
+def print_figure(title: str, rows, value, scale_label: str = "scale") -> None:
+    """Render one figure's normalized series like the paper's bar groups."""
+    from repro.experiments.reporting import normalize_rows, render_table
+
+    normalized = normalize_rows(rows, value)
+    table = [
+        [row.algorithm, getattr(row, scale_label), value(row), normalized[i]]
+        for i, row in enumerate(rows)
+    ]
+    print(f"\n=== {title} ===")
+    print(render_table(["algorithm", scale_label, "raw", "normalized"], table))

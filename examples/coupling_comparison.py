@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Loosely vs highly coupled applications (the abstract's claim).
+
+"Experiments show that the algorithm is effective in handling programs
+with loosely coupled as well as highly coupled functions."  This example
+builds both kinds of application and shows how the pipeline adapts: on a
+tightly coupled program, compression fuses far more aggressively (heavy
+data flows must never be cut), so less ends up offloadable — but what is
+offloaded still pays.
+
+Run:  python examples/coupling_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import make_planner, synthesize_application
+from repro.experiments.reporting import render_table
+from repro.mec import EdgeServer, MECSystem, MobileDevice, UserContext
+from repro.mec.devices import DeviceProfile
+from repro.mec.scheme import PartitionedApplication
+
+PROFILE = DeviceProfile(
+    compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+)
+
+
+def plan_app(coupling: str):
+    app = synthesize_application(
+        f"{coupling}-app", n_functions=80, seed=11, n_components=4, coupling=coupling
+    )
+    device = MobileDevice("u1", profile=PROFILE)
+    system = MECSystem(EdgeServer(total_capacity=300.0), [UserContext(device, app)])
+    planner = make_planner("spectral")
+    result = planner.plan_system(system, {"u1": app})
+    plan = result.user_plans["u1"]
+
+    # Compare against running everything on the device.
+    papp = PartitionedApplication("u1", app, plan.parts)
+    all_local = system.evaluate_placement({"u1": papp}, {"u1": set()})
+    return app, plan, result, all_local
+
+
+def main() -> None:
+    rows = []
+    for coupling in ("loose", "tight"):
+        app, plan, result, all_local = plan_app(coupling)
+        c = result.consumption
+        rows.append(
+            [
+                coupling,
+                f"{app.total_communication():.0f}",
+                f"{plan.compression_ratio:.1f}x",
+                result.scheme.offload_count("u1"),
+                f"{c.energy:.2f}",
+                f"{all_local.energy:.2f}",
+                f"{c.combined():.2f}",
+                f"{all_local.combined():.2f}",
+            ]
+        )
+    print("=== Loose vs tight coupling, spectral pipeline ===")
+    print(
+        render_table(
+            [
+                "coupling",
+                "total comm",
+                "compression",
+                "offloaded fns",
+                "E (scheme)",
+                "E (all local)",
+                "E+T (scheme)",
+                "E+T (all local)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nTight coupling multiplies inter-function traffic; compression"
+        "\nabsorbs it by fusing chatty neighbourhoods, and the scheme still"
+        "\nimproves on running everything locally."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Executing a planned scheme on the event simulator, with faults.
+
+The closed-form model (formulas (1)-(6)) prices a scheme under ideal
+conditions.  This example plans a scheme with the paper's pipeline, then
+*executes* it on the discrete-event simulator three times: healthy, with
+the edge server degrading mid-run, and with one user's uplink dropping —
+showing what each fault does to completion times and energy.
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_planner
+from repro.experiments.reporting import render_table
+from repro.mec import EdgeServer, MECSystem, MobileDevice, UserContext
+from repro.mec.devices import DeviceProfile
+from repro.mec.scheme import PartitionedApplication
+from repro.simulation import BandwidthChange, ServerDegradation, simulate_scheme
+from repro.workloads.applications import synthesize_application
+
+PROFILE = DeviceProfile(
+    compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+)
+
+
+def main() -> None:
+    # Two users sharing one server.
+    apps = {
+        uid: synthesize_application(f"app-{uid}", n_functions=60, seed=seed)
+        for uid, seed in (("alice", 3), ("bob", 4))
+    }
+    users = [UserContext(MobileDevice(uid, profile=PROFILE), app) for uid, app in apps.items()]
+    system = MECSystem(EdgeServer(total_capacity=400.0), users)
+
+    planner = make_planner("spectral")
+    result = planner.plan_system(system, apps)
+    print(result.summary())
+
+    partitioned = {
+        uid: PartitionedApplication(uid, app, result.user_plans[uid].parts)
+        for uid, app in apps.items()
+    }
+    placement = result.greedy.remote_parts
+
+    scenarios = {
+        "healthy": [],
+        "server loses half capacity at t=1s": [ServerDegradation(time=1.0, factor=0.5)],
+        "alice's uplink drops 4x at t=0.2s": [
+            BandwidthChange(time=0.2, user_id="alice", factor=0.25)
+        ],
+    }
+
+    rows = []
+    for label, faults in scenarios.items():
+        report = simulate_scheme(system, partitioned, placement, faults=faults)
+        alice = report.timeline("alice")
+        bob = report.timeline("bob")
+        rows.append(
+            [
+                label,
+                alice.upload_finish,
+                alice.service_finish,
+                bob.service_finish,
+                report.total_energy,
+                f"{100 * report.server_utilization:.0f}%",
+            ]
+        )
+    print("\n=== Fault scenarios (same scheme, different conditions) ===")
+    print(
+        render_table(
+            [
+                "scenario",
+                "alice upload (s)",
+                "alice remote done (s)",
+                "bob remote done (s)",
+                "energy",
+                "server util",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe scheme itself never changes — only the conditions do.  Server"
+        "\ndegradation stretches whoever is queued; a bandwidth drop both"
+        "\ndelays that user's remote start and raises their radio energy"
+        "\n(power x longer transmission)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Multi-user scenario: a campus edge server under growing load.
+
+The paper's multi-user point (Figs. 6-8): one edge server, many users,
+and the offloading scheme must respect the server's finite capacity.
+This example sweeps the user count, compares the three algorithms, and
+shows how the server allocation policy changes the picture.
+
+Run:  python examples/multi_user_campus.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_planner
+from repro.experiments.reporting import render_table
+from repro.mec.admission import (
+    EqualShareAllocation,
+    FCFSQueueAllocation,
+    ProportionalShareAllocation,
+)
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.profiles import quick_profile
+
+
+def sweep_users() -> None:
+    profile = quick_profile()
+    print("=== Scaling the user population (FCFS server queue) ===")
+    rows = []
+    for n_users in (5, 15, 40):
+        workload = build_mec_system(n_users, profile, graph_size=120)
+        for algorithm in ("spectral", "maxflow", "kl"):
+            result = make_planner(algorithm).plan_system(
+                workload.system, workload.call_graphs
+            )
+            c = result.consumption
+            rows.append(
+                [n_users, algorithm, c.local_energy, c.transmission_energy, c.energy, c.time]
+            )
+    print(render_table(["users", "algorithm", "local E", "tx E", "total E", "T"], rows))
+
+
+def compare_policies() -> None:
+    import dataclasses
+
+    base = quick_profile()
+    print("\n=== Server allocation policies (20 users, spectral planner) ===")
+    policies = {
+        "fcfs-queue": FCFSQueueAllocation(),
+        "equal-share": EqualShareAllocation(),
+        "proportional": ProportionalShareAllocation(),
+    }
+    rows = []
+    planner = make_planner("spectral")
+    for capacity_per_user in (base.server_capacity_per_user, 25.0):
+        profile = dataclasses.replace(base, server_capacity_per_user=capacity_per_user)
+        for name, policy in policies.items():
+            workload = build_mec_system(20, profile, graph_size=120, allocation=policy)
+            result = planner.plan_system(workload.system, workload.call_graphs)
+            c = result.consumption
+            rows.append(
+                [capacity_per_user, name, result.scheme.total_offloaded, c.energy, c.time]
+            )
+    print(
+        render_table(
+            ["capacity/user", "policy", "functions offloaded", "total E", "total T"],
+            rows,
+        )
+    )
+    print(
+        "\nWith a well-provisioned server the policies agree.  Starve the"
+        "\nserver and they split: the sharing policies shrink every user's"
+        "\nslice, so the greedy pulls work back onto the devices, while the"
+        "\nFCFS queue keeps serving at full speed and charges waiting time"
+        "\ninstead (visible in the higher total T for its offloads)."
+    )
+
+
+if __name__ == "__main__":
+    sweep_users()
+    compare_policies()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Online admission: planning users as they arrive, without migration.
+
+The paper plans all users at once; a live edge server admits them one at
+a time, and moving an already-running placement is disruptive.  This
+example admits six users sequentially with the incremental planner
+(existing placements frozen) and compares each prefix against a full
+offline replan — the measured price of never migrating.
+
+Run:  python examples/online_admission.py
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import spectral_cut_strategy
+from repro.experiments.reporting import render_table
+from repro.mec import EdgeServer, MobileDevice
+from repro.mec.devices import DeviceProfile
+from repro.mec.online import regret_vs_offline
+from repro.workloads.applications import synthesize_application
+
+PROFILE = DeviceProfile(
+    compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+)
+
+
+def main() -> None:
+    arrivals = [
+        (
+            MobileDevice(f"user{k+1:02d}", profile=PROFILE),
+            synthesize_application(f"app-{k}", n_functions=60, seed=71 + k),
+        )
+        for k in range(6)
+    ]
+    # A deliberately tight server: early arrivals grab capacity that the
+    # offline replanner would later redistribute — that's where regret
+    # comes from.
+    server = EdgeServer(total_capacity=60.0)
+
+    rows = regret_vs_offline(server, spectral_cut_strategy(), arrivals)
+    table = [
+        [
+            user_id,
+            online_cost,
+            offline_cost,
+            online_cost / offline_cost if offline_cost else 1.0,
+        ]
+        for user_id, online_cost, offline_cost in rows
+    ]
+    print("=== Online (frozen placements) vs offline (full replan), E+T ===")
+    print(
+        render_table(
+            ["after arrival of", "online E+T", "offline E+T", "regret ratio"], table
+        )
+    )
+    worst = max(r[3] for r in table)
+    print(
+        f"\nworst regret: {worst:.3f}x — the most the deployment ever pays"
+        "\nfor admitting users incrementally instead of re-migrating"
+        "\neverything on each arrival."
+    )
+
+
+if __name__ == "__main__":
+    main()

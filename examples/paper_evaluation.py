@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate the paper's entire evaluation into one markdown report.
+
+Runs Table I, the single-user and multi-user energy sweeps and the
+running-time comparison at laptop scale, and writes ``REPORT.md`` next to
+this script — the one-command version of the benchmark suite's output.
+
+Run:  python examples/paper_evaluation.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.report import generate_markdown_report
+from repro.workloads.profiles import quick_profile
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent / "REPORT.md"
+    print("running the full quick-profile evaluation (a few minutes)...")
+    document = generate_markdown_report(quick_profile())
+    out.write_text(document)
+    print(f"wrote {out} ({len(document.splitlines())} lines)")
+    # Show the headline section inline.
+    lines = document.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("## Figures 3-5"):
+            print("\n".join(lines[i : i + 18]))
+            break
+
+
+if __name__ == "__main__":
+    main()

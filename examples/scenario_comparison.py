@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""One scheme, five worlds: scenario comparison on the event simulator.
+
+Plans a three-user system once, then replays the identical placement
+under five conditions — healthy baseline, degraded server, one user's
+radio failing, Poisson arrivals, and a shared (contended) wireless
+channel — and prints the aligned makespan/energy inflation table.
+
+Run:  python examples/scenario_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_planner
+from repro.experiments.reporting import render_table
+from repro.mec import EdgeServer, MECSystem, MobileDevice, UserContext
+from repro.mec.devices import DeviceProfile
+from repro.mec.scheme import PartitionedApplication
+from repro.simulation import (
+    BandwidthChange,
+    Scenario,
+    ServerDegradation,
+    compare_scenarios,
+)
+from repro.workloads.applications import synthesize_application
+from repro.workloads.multiuser import poisson_arrivals
+
+PROFILE = DeviceProfile(
+    compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+)
+
+
+def main() -> None:
+    apps = {
+        uid: synthesize_application(f"app-{uid}", n_functions=60, seed=seed)
+        for uid, seed in (("ana", 51), ("ben", 52), ("cho", 53))
+    }
+    users = [UserContext(MobileDevice(uid, profile=PROFILE), app) for uid, app in apps.items()]
+    system = MECSystem(EdgeServer(total_capacity=120.0), users)
+
+    result = make_planner("spectral").plan_system(system, apps)
+    print(result.summary())
+
+    partitioned = {
+        uid: PartitionedApplication(uid, app, result.user_plans[uid].parts)
+        for uid, app in apps.items()
+    }
+
+    scenarios = [
+        Scenario("healthy"),
+        Scenario("server at 25%", faults=(ServerDegradation(time=0.5, factor=0.25),)),
+        Scenario("ana's radio at 10%", faults=(BandwidthChange(time=0.2, user_id="ana", factor=0.1),)),
+        Scenario("poisson arrivals", arrivals=poisson_arrivals(sorted(apps), rate=0.5, seed=7)),
+        Scenario("shared 50-unit channel", shared_uplink_capacity=50.0),
+    ]
+    comparison = compare_scenarios(
+        system, partitioned, result.greedy.remote_parts, scenarios
+    )
+
+    print("\n=== Same scheme under five conditions ===")
+    print(
+        render_table(
+            ["scenario", "makespan (s)", "x baseline", "energy (J)", "x baseline"],
+            comparison.rows(),
+        )
+    )
+    print(
+        "\nMakespan moves with the conditions; energy only moves when the"
+        "\nradio itself is slower (airtime x power) — exactly the split the"
+        "\nclosed-form model cannot show."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Computation Offloading for Mobile-Edge
+Computing with Multi-user" (Dong et al., ICDCS 2019).
+
+The library implements the paper's complete pipeline — function-level
+application modelling, label-propagation graph compression, spectral
+minimum-cut offload partitioning, and greedy multi-user scheme generation
+— together with every substrate it depends on: a weighted-graph core, a
+Soot-substitute static extractor, from-scratch max-flow and Kernighan-Lin
+baselines, a MEC energy/time model, a mini-Spark execution engine, and
+NETGEN-style workload generation.
+
+Quickstart::
+
+    from repro import make_planner, synthesize_application
+    from repro.mec import EdgeServer, MECSystem, MobileDevice, UserContext
+
+    app = synthesize_application("demo", n_functions=40, seed=1)
+    user = UserContext(MobileDevice("u1"), app)
+    system = MECSystem(EdgeServer(total_capacity=500.0), [user])
+
+    planner = make_planner("spectral")
+    result = planner.plan_system(system, {"u1": app})
+    print(result.summary())
+"""
+
+from repro.core import (
+    CutOutcome,
+    OffloadingPlanner,
+    PlanResult,
+    PlannerConfig,
+    UserPlan,
+    make_planner,
+)
+from repro.workloads import (
+    build_mec_system,
+    call_graph_from_weighted_graph,
+    netgen_graph,
+    paper_network_configs,
+    synthesize_application,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OffloadingPlanner",
+    "PlannerConfig",
+    "PlanResult",
+    "UserPlan",
+    "CutOutcome",
+    "make_planner",
+    "synthesize_application",
+    "call_graph_from_weighted_graph",
+    "netgen_graph",
+    "paper_network_configs",
+    "build_mec_system",
+    "__version__",
+]

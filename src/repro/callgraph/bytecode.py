@@ -1,0 +1,168 @@
+"""A miniature mobile-application IR (the Soot substitute's input).
+
+The paper feeds compiled executables to Soot to recover functions and their
+calling relationships.  We model the part of an executable that matters to
+COPMECS: per-function instruction lists whose instructions either burn
+cycles, move data to another function, or touch device-local resources.
+
+The IR is deliberately simple — the downstream algorithms only consume the
+*extracted* weighted graph — but it is a real substrate: the extractor in
+:mod:`repro.callgraph.extractor` performs an honest static pass over these
+instructions, and tests build small binaries by hand to check extraction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """Instruction kinds recognised by the static extractor."""
+
+    COMPUTE = "compute"
+    """Burn ``amount`` units of computation in this function."""
+
+    CALL = "call"
+    """Invoke ``target``, shipping ``amount`` units of argument data."""
+
+    RETURN_DATA = "return_data"
+    """Return ``amount`` units of data to the caller (attributed to the
+    most recent call edge by the extractor)."""
+
+    SENSOR_READ = "sensor_read"
+    """Read a device sensor — makes the function unoffloadable."""
+
+    IO_ACCESS = "io_access"
+    """Touch local storage / peripherals — makes the function unoffloadable."""
+
+    UI_RENDER = "ui_render"
+    """Draw to the device screen — makes the function unoffloadable."""
+
+
+_LOCAL_OPCODES = frozenset({Opcode.SENSOR_READ, Opcode.IO_ACCESS, Opcode.UI_RENDER})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One IR instruction.
+
+    ``target`` is only meaningful for :attr:`Opcode.CALL`; ``amount`` is the
+    computation units for ``COMPUTE``, the payload size for ``CALL`` and
+    ``RETURN_DATA``, and ignored for device-local opcodes.
+    """
+
+    opcode: Opcode
+    amount: float = 0.0
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.CALL and not self.target:
+            raise ValueError("CALL instruction requires a target function name")
+        if self.opcode is not Opcode.CALL and self.target is not None:
+            raise ValueError(f"{self.opcode.name} instruction cannot have a target")
+        if self.amount < 0:
+            raise ValueError(f"instruction amount must be >= 0, got {self.amount!r}")
+
+    @property
+    def touches_device(self) -> bool:
+        """Whether this instruction binds the function to the device."""
+        return self.opcode in _LOCAL_OPCODES
+
+
+@dataclass
+class FunctionBytecode:
+    """The compiled body of one function.
+
+    ``component`` names the application component (activity/service/
+    package) the function belongs to; Algorithm 1 compresses each
+    component's sub-graph independently.
+    """
+
+    name: str
+    component: str = "main"
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def compute(self, amount: float) -> "FunctionBytecode":
+        """Append a COMPUTE instruction (builder style, returns self)."""
+        self.instructions.append(Instruction(Opcode.COMPUTE, amount))
+        return self
+
+    def call(self, target: str, payload: float) -> "FunctionBytecode":
+        """Append a CALL instruction shipping *payload* units of data."""
+        self.instructions.append(Instruction(Opcode.CALL, payload, target))
+        return self
+
+    def return_data(self, payload: float) -> "FunctionBytecode":
+        """Append a RETURN_DATA instruction."""
+        self.instructions.append(Instruction(Opcode.RETURN_DATA, payload))
+        return self
+
+    def sensor_read(self) -> "FunctionBytecode":
+        """Append a SENSOR_READ instruction (pins the function locally)."""
+        self.instructions.append(Instruction(Opcode.SENSOR_READ))
+        return self
+
+    def io_access(self) -> "FunctionBytecode":
+        """Append an IO_ACCESS instruction (pins the function locally)."""
+        self.instructions.append(Instruction(Opcode.IO_ACCESS))
+        return self
+
+    def ui_render(self) -> "FunctionBytecode":
+        """Append a UI_RENDER instruction (pins the function locally)."""
+        self.instructions.append(Instruction(Opcode.UI_RENDER))
+        return self
+
+    @property
+    def total_compute(self) -> float:
+        """Total computation units in this function's body."""
+        return sum(i.amount for i in self.instructions if i.opcode is Opcode.COMPUTE)
+
+    @property
+    def touches_device(self) -> bool:
+        """Whether any instruction binds this function to the device."""
+        return any(i.touches_device for i in self.instructions)
+
+    def call_targets(self) -> list[str]:
+        """Names of functions invoked from this body, in call-site order."""
+        return [i.target for i in self.instructions if i.opcode is Opcode.CALL and i.target]
+
+
+@dataclass
+class ApplicationBinary:
+    """A compiled application: a set of function bodies and an entry point."""
+
+    name: str
+    functions: dict[str, FunctionBytecode] = field(default_factory=dict)
+    entry_point: str = "main"
+
+    def add_function(self, bytecode: FunctionBytecode) -> FunctionBytecode:
+        """Register a function body; duplicate names are rejected."""
+        if bytecode.name in self.functions:
+            raise ValueError(f"function {bytecode.name!r} already defined")
+        self.functions[bytecode.name] = bytecode
+        return bytecode
+
+    def define(self, name: str, component: str = "main") -> FunctionBytecode:
+        """Create, register and return an empty function body."""
+        return self.add_function(FunctionBytecode(name=name, component=component))
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on dangling call targets or a bad entry point.
+
+        A binary whose entry point is missing, or that calls an undefined
+        function, would have failed to link; the extractor refuses it.
+        """
+        if self.entry_point not in self.functions:
+            raise ValueError(f"entry point {self.entry_point!r} is not defined")
+        for bytecode in self.functions.values():
+            for target in bytecode.call_targets():
+                if target not in self.functions:
+                    raise ValueError(
+                        f"function {bytecode.name!r} calls undefined function {target!r}"
+                    )
+
+    @property
+    def function_count(self) -> int:
+        """Number of functions in the binary."""
+        return len(self.functions)

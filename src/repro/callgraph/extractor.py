@@ -1,0 +1,83 @@
+"""Static extraction of the function data-flow graph (the Soot substitute).
+
+Given an :class:`~repro.callgraph.bytecode.ApplicationBinary`, the extractor
+performs one linear pass over every function body and produces the weighted
+function data flow graph of Section II:
+
+* node weight   — the function's total COMPUTE amount;
+* edge weight   — accumulated CALL payloads between the two functions, plus
+  RETURN_DATA payloads attributed to the most recent call site (this mirrors
+  Figure 1 of the paper, where ``a = f2()`` contributes ``|a|`` to the
+  ``f1 - f2`` edge);
+* offloadability — decided by :mod:`repro.callgraph.offloadability`.
+"""
+
+from __future__ import annotations
+
+from repro.callgraph.bytecode import ApplicationBinary, Opcode
+from repro.callgraph.model import FunctionCallGraph
+from repro.callgraph.offloadability import OffloadabilityPolicy, classify_offloadability
+
+
+def extract_call_graph(
+    binary: ApplicationBinary, policy: OffloadabilityPolicy | None = None
+) -> FunctionCallGraph:
+    """Extract the function data flow graph from *binary*.
+
+    The binary is validated first (dangling call targets are rejected).
+    Data flows between a pair of functions accumulate over all call sites,
+    in both directions, onto a single undirected edge.
+    """
+    binary.validate()
+    offloadable = classify_offloadability(binary, policy)
+
+    fcg = FunctionCallGraph(binary.name)
+    for name, bytecode in binary.functions.items():
+        fcg.add_function(
+            name,
+            computation=bytecode.total_compute,
+            component=bytecode.component,
+            offloadable=offloadable[name],
+        )
+
+    # Pass 1: caller-side payloads. Each CALL contributes its argument
+    # payload; every callee's pending return payload is attached to the
+    # *most recent* call edge into it (resolved in pass 2).
+    flows: dict[frozenset[str], float] = {}
+    return_payload = {
+        name: sum(
+            i.amount for i in bytecode.instructions if i.opcode is Opcode.RETURN_DATA
+        )
+        for name, bytecode in binary.functions.items()
+    }
+    call_count: dict[str, int] = {name: 0 for name in binary.functions}
+    for name, bytecode in binary.functions.items():
+        for instruction in bytecode.instructions:
+            if instruction.opcode is not Opcode.CALL or instruction.target is None:
+                continue
+            call_count[instruction.target] += 1
+            key = frozenset((name, instruction.target))
+            flows[key] = flows.get(key, 0.0) + instruction.amount
+
+    # Pass 2: spread each callee's return payload evenly over its incoming
+    # call edges (a callee with no caller keeps its data on-device).
+    for name, bytecode in binary.functions.items():
+        callers = call_count[name]
+        if callers == 0 or return_payload[name] == 0.0:
+            continue
+        per_call = return_payload[name] / callers
+        for caller, caller_bytecode in binary.functions.items():
+            hits = sum(1 for t in caller_bytecode.call_targets() if t == name)
+            if hits == 0:
+                continue
+            key = frozenset((caller, name))
+            flows[key] = flows.get(key, 0.0) + per_call * hits
+
+    for key, amount in flows.items():
+        endpoints = sorted(key)
+        if len(endpoints) != 2:
+            # Recursive self-call: internal traffic, never crosses the cut.
+            continue
+        if amount > 0:
+            fcg.add_data_flow(endpoints[0], endpoints[1], amount)
+    return fcg

@@ -1,0 +1,75 @@
+"""Rules deciding which functions are unoffloadable.
+
+Section II: "Some functions participate in large amount of data exchange
+with other functions and their execution highly depends on local data
+interaction like sensors' data reading, local I/O devices accessing, etc.
+We call these functions unoffloaded functions."
+
+Two signals are implemented:
+
+* **device binding** — any instruction that touches a sensor, local I/O or
+  the UI pins the function to the device;
+* **data locality** — a function whose per-unit-of-computation traffic
+  exceeds ``max_traffic_ratio`` is so chatty that shipping it would always
+  lose; the policy may optionally pin such functions too (off by default,
+  because the compression stage already fuses chatty neighborhoods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.bytecode import ApplicationBinary, Opcode
+
+
+@dataclass(frozen=True)
+class OffloadabilityPolicy:
+    """Configuration for the unoffloadable-function classifier."""
+
+    pin_device_bound: bool = True
+    """Pin functions containing sensor/I-O/UI instructions."""
+
+    pin_entry_point: bool = True
+    """Pin the application entry point (it drives the device-side UI loop)."""
+
+    max_traffic_ratio: float | None = None
+    """If set, pin functions whose (traffic / max(computation, 1)) exceeds
+    this ratio."""
+
+    pinned_names: frozenset[str] = field(default_factory=frozenset)
+    """Explicitly pinned function names (analyst overrides)."""
+
+
+def classify_offloadability(
+    binary: ApplicationBinary, policy: OffloadabilityPolicy | None = None
+) -> dict[str, bool]:
+    """Return ``{function name: offloadable?}`` for every function in *binary*."""
+    policy = policy or OffloadabilityPolicy()
+    traffic: dict[str, float] = {name: 0.0 for name in binary.functions}
+    for bytecode in binary.functions.values():
+        pending_callee: str | None = None
+        for instruction in bytecode.instructions:
+            if instruction.opcode is Opcode.CALL and instruction.target:
+                traffic[bytecode.name] += instruction.amount
+                traffic[instruction.target] += instruction.amount
+                pending_callee = instruction.target
+            elif instruction.opcode is Opcode.RETURN_DATA and pending_callee is None:
+                # Return data flows to this function's caller; attribute to
+                # the function itself (callers accumulate via their CALLs).
+                traffic[bytecode.name] += instruction.amount
+
+    result: dict[str, bool] = {}
+    for name, bytecode in binary.functions.items():
+        offloadable = True
+        if policy.pin_device_bound and bytecode.touches_device:
+            offloadable = False
+        if policy.pin_entry_point and name == binary.entry_point:
+            offloadable = False
+        if name in policy.pinned_names:
+            offloadable = False
+        if offloadable and policy.max_traffic_ratio is not None:
+            compute = max(bytecode.total_compute, 1.0)
+            if traffic[name] / compute > policy.max_traffic_ratio:
+                offloadable = False
+        result[name] = offloadable
+    return result

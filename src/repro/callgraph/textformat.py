@@ -1,0 +1,125 @@
+"""A plain-text interchange format for function call graphs.
+
+Users with access to a real static analyzer (Soot, or any call-graph
+dumper) can export to this format and feed the result straight into the
+planner.  The format is line-oriented and diff-friendly:
+
+.. code-block:: text
+
+    # comments and blank lines are ignored
+    app photo-assistant
+    func main ui 5.0 pinned
+    func decode media 120.0
+    func upload_log net 2.5
+    flow main decode 10.0
+    flow decode upload_log 3.0
+
+* ``app NAME`` — optional, names the application (first occurrence wins);
+* ``func NAME COMPONENT COMPUTATION [pinned]`` — declares a function;
+  ``pinned`` marks it unoffloadable;
+* ``flow A B AMOUNT`` — declares communication between two functions
+  (repeats accumulate, like multiple call sites).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.callgraph.model import FunctionCallGraph
+
+
+def parse_call_graph_text(lines: Iterable[str]) -> FunctionCallGraph:
+    """Parse the text format into a :class:`FunctionCallGraph`.
+
+    Malformed lines raise ``ValueError`` with the offending line number.
+    Flows referencing undeclared functions are rejected (declare all
+    ``func`` lines first — the format is single-pass).
+    """
+    fcg: FunctionCallGraph | None = None
+    declared: set[str] = set()
+    pending_flows: list[tuple[int, str, str, float]] = []
+    app_name = "app"
+
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        keyword = parts[0]
+
+        if keyword == "app":
+            if len(parts) != 2:
+                raise ValueError(f"line {number}: 'app' takes exactly one name")
+            if fcg is None:
+                app_name = parts[1]
+            continue
+
+        if keyword == "func":
+            if len(parts) not in (4, 5):
+                raise ValueError(
+                    f"line {number}: expected 'func NAME COMPONENT COMPUTATION [pinned]'"
+                )
+            if fcg is None:
+                fcg = FunctionCallGraph(app_name)
+            name, component = parts[1], parts[2]
+            try:
+                computation = float(parts[3])
+            except ValueError as exc:
+                raise ValueError(f"line {number}: bad computation {parts[3]!r}") from exc
+            pinned = False
+            if len(parts) == 5:
+                if parts[4] != "pinned":
+                    raise ValueError(f"line {number}: unknown flag {parts[4]!r}")
+                pinned = True
+            if name in declared:
+                raise ValueError(f"line {number}: duplicate function {name!r}")
+            fcg.add_function(
+                name, computation=computation, component=component, offloadable=not pinned
+            )
+            declared.add(name)
+            continue
+
+        if keyword == "flow":
+            if len(parts) != 4:
+                raise ValueError(f"line {number}: expected 'flow A B AMOUNT'")
+            try:
+                amount = float(parts[3])
+            except ValueError as exc:
+                raise ValueError(f"line {number}: bad amount {parts[3]!r}") from exc
+            pending_flows.append((number, parts[1], parts[2], amount))
+            continue
+
+        raise ValueError(f"line {number}: unknown keyword {keyword!r}")
+
+    if fcg is None:
+        raise ValueError("no functions declared")
+
+    for number, a, b, amount in pending_flows:
+        for endpoint in (a, b):
+            if endpoint not in declared:
+                raise ValueError(f"line {number}: flow references undeclared {endpoint!r}")
+        fcg.add_data_flow(a, b, amount)
+    return fcg
+
+
+def format_call_graph_text(fcg: FunctionCallGraph) -> str:
+    """Serialise *fcg* back to the text format (round-trips with parse)."""
+    lines = [f"app {fcg.app_name}"]
+    for name in fcg.functions():
+        info = fcg.info(name)
+        flag = " pinned" if not info.offloadable else ""
+        lines.append(f"func {name} {info.component} {info.computation}{flag}")
+    for u, v, weight in fcg.graph.edges():
+        lines.append(f"flow {u} {v} {weight}")
+    return "\n".join(lines) + "\n"
+
+
+def load_call_graph_text(path: str | Path) -> FunctionCallGraph:
+    """Read a call graph from a text-format file."""
+    return parse_call_graph_text(Path(path).read_text().splitlines())
+
+
+def save_call_graph_text(fcg: FunctionCallGraph, path: str | Path) -> None:
+    """Write a call graph to a text-format file."""
+    Path(path).write_text(format_call_graph_text(fcg))

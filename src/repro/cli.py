@@ -1,0 +1,370 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1``    — regenerate Table I (compression results);
+* ``figures``   — regenerate the energy figures (3-5 single-user or
+  6-8 multi-user) or the Fig. 9 timing comparison;
+* ``generate``  — emit a NETGEN-style workload graph as JSON;
+* ``plan``      — plan offloading for a workload graph and print the
+  scheme summary;
+* ``simulate``  — plan, then execute the plan on the discrete-event
+  simulator (optionally with injected faults; ``--json`` dumps the full
+  per-user timelines);
+* ``report``    — run the whole evaluation and write a markdown report;
+* ``sensitivity`` — sweep one physical parameter and show the crossover;
+* ``compress``  — run Algorithm 1 on a workload graph, print quality
+  metrics, optionally write a Graphviz DOT rendering of the clustering;
+* ``verify``    — run the evaluation and check every qualitative claim
+  of the paper (the reproduction ledger); non-zero exit on any failure.
+
+Every command takes ``--seed`` and prints plain-text tables, so runs are
+reproducible and diffable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.baselines import make_planner
+from repro.experiments.figures import (
+    run_multiuser_energy_experiment,
+    run_single_user_energy_experiment,
+)
+from repro.experiments.reporting import render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.timing import run_timing_experiment
+from repro.graphs.io import load_graph_json, save_graph_json
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.simulation import ServerDegradation, simulate_scheme
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph, paper_network_configs
+from repro.workloads.profiles import paper_profile, quick_profile
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Computation Offloading for MEC with Multi-user' (ICDCS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate Table I (compression results)")
+    t1.add_argument("--sizes", type=int, nargs="*", default=None,
+                    help="graph sizes (default: the paper's five networks)")
+    t1.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("figures", help="regenerate the evaluation figures")
+    fig.add_argument("family", choices=["single-user", "multi-user", "timing"])
+    fig.add_argument("--profile", choices=["quick", "paper"], default="quick")
+    fig.add_argument("--repetitions", type=int, default=None)
+
+    gen = sub.add_parser("generate", help="emit a NETGEN-style workload graph as JSON")
+    gen.add_argument("--nodes", type=int, required=True)
+    gen.add_argument("--edges", type=int, required=True)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", type=Path, required=True)
+
+    plan = sub.add_parser("plan", help="plan offloading for a workload graph")
+    plan.add_argument("--graph", type=Path, required=True, help="graph JSON (see 'generate')")
+    plan.add_argument("--strategy", choices=["spectral", "maxflow", "kl"], default="spectral")
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--server-capacity", type=float, default=300.0)
+
+    sim = sub.add_parser("simulate", help="plan and execute on the event simulator")
+    sim.add_argument("--graph", type=Path, required=True)
+    sim.add_argument("--strategy", choices=["spectral", "maxflow", "kl"], default="spectral")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--server-capacity", type=float, default=300.0)
+    sim.add_argument(
+        "--server-fault",
+        type=str,
+        default=None,
+        metavar="TIME:FACTOR",
+        help="inject a server degradation, e.g. 2.0:0.5",
+    )
+    sim.add_argument("--json", action="store_true", help="emit the raw report as JSON")
+
+    rep = sub.add_parser("report", help="run the evaluation and write a markdown report")
+    rep.add_argument("--profile", choices=["quick", "paper"], default="quick")
+    rep.add_argument("--out", type=Path, default=None, help="write to file (default stdout)")
+    rep.add_argument("--no-timing", action="store_true", help="skip the Fig. 9 timing sweep")
+
+    sens = sub.add_parser("sensitivity", help="sweep one parameter and show the crossover")
+    sens.add_argument(
+        "parameter",
+        choices=["power_transmit", "bandwidth", "compute_capacity", "server_capacity"],
+    )
+    sens.add_argument("--graph-size", type=int, default=None)
+    sens.add_argument("--algorithm", choices=["spectral", "maxflow", "kl"], default="spectral")
+
+    comp = sub.add_parser("compress", help="compress a workload graph (Algorithm 1)")
+    comp.add_argument("--graph", type=Path, required=True)
+    comp.add_argument("--dot", type=Path, default=None, help="write the clustering as DOT")
+
+    ver = sub.add_parser("verify", help="check every qualitative claim of the paper")
+    ver.add_argument("--profile", choices=["quick", "paper"], default="quick")
+    return parser
+
+
+def _profile(name: str):
+    return paper_profile() if name == "paper" else quick_profile()
+
+
+def _single_user_mec(graph_path: Path, seed: int, server_capacity: float):
+    graph = load_graph_json(graph_path)
+    app = call_graph_from_weighted_graph(graph, unoffloadable_fraction=0.05, seed=seed)
+    device = MobileDevice("user", profile=quick_profile().device)
+    system = MECSystem(EdgeServer(server_capacity), [UserContext(device, app)])
+    return system, app
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    if args.sizes:
+        profile = quick_profile()
+        configs = [
+            NetgenConfig(n_nodes=s, n_edges=profile.edges_for(s), seed=args.seed + i)
+            for i, s in enumerate(args.sizes)
+        ]
+    else:
+        configs = paper_network_configs(args.seed)
+    rows = run_table1(configs)
+    print(
+        render_table(
+            ["Network", "fn", "edges", "fn after", "edges after", "reduction"],
+            [
+                [
+                    r.network,
+                    r.function_number,
+                    r.edge_number,
+                    r.function_number_after,
+                    r.edge_number_after,
+                    f"{100 * r.node_reduction:.1f}%",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    if args.family == "timing":
+        rows = run_timing_experiment(profile, repeats=args.repetitions or 3)
+        print(
+            render_table(
+                ["algorithm", "graph size", "seconds"],
+                [[r.algorithm, r.graph_size, r.seconds] for r in rows],
+            )
+        )
+        return 0
+    if args.family == "single-user":
+        rows = run_single_user_energy_experiment(
+            profile, repetitions=args.repetitions or 5
+        )
+        scale = "graph size"
+    else:
+        rows = run_multiuser_energy_experiment(
+            profile, repetitions=args.repetitions or 2
+        )
+        scale = "users"
+    print(
+        render_table(
+            ["algorithm", scale, "local E", "tx E", "total E", "total T"],
+            [
+                [r.algorithm, r.scale, r.local_energy, r.transmission_energy,
+                 r.total_energy, r.total_time]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = NetgenConfig(n_nodes=args.nodes, n_edges=args.edges, seed=args.seed)
+    graph = netgen_graph(config)
+    save_graph_json(graph, args.out)
+    print(f"wrote {graph.node_count} nodes / {graph.edge_count} edges to {args.out}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    system, app = _single_user_mec(args.graph, args.seed, args.server_capacity)
+    planner = make_planner(args.strategy)
+    result = planner.plan_system(system, {"user": app})
+    print(result.summary())
+    plan = result.user_plans["user"]
+    print(
+        f"compression: {plan.original_nodes} -> {plan.compressed_nodes} nodes; "
+        f"cut total {plan.total_cut_value:.1f}"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system, app = _single_user_mec(args.graph, args.seed, args.server_capacity)
+    planner = make_planner(args.strategy)
+    result = planner.plan_system(system, {"user": app})
+    apps = {"user": PartitionedApplication("user", app, result.user_plans["user"].parts)}
+
+    faults = []
+    if args.server_fault:
+        try:
+            time_text, factor_text = args.server_fault.split(":")
+            faults.append(
+                ServerDegradation(time=float(time_text), factor=float(factor_text))
+            )
+        except ValueError as exc:
+            print(f"error: bad --server-fault {args.server_fault!r}: {exc}", file=sys.stderr)
+            return 2
+
+    report = simulate_scheme(system, apps, result.greedy.remote_parts, faults=faults)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2))
+        return 0
+    timeline = report.timeline("user")
+    print(result.summary())
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["local finish (s)", timeline.local_finish],
+                ["upload finish (s)", timeline.upload_finish],
+                ["service finish (s)", timeline.service_finish],
+                ["completion (s)", timeline.completion],
+                ["energy (J)", timeline.energy],
+                ["makespan (s)", report.makespan],
+                ["server utilization", report.server_utilization],
+                ["events processed", report.events_processed],
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    from repro.compression import GraphCompressor, compression_quality
+
+    graph = load_graph_json(args.graph)
+    result = GraphCompressor().compress(graph)
+    compressed = result.compressed
+    quality = compression_quality(graph, compressed)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["nodes", f"{graph.node_count} -> {compressed.graph.node_count}"],
+                ["edges", f"{graph.edge_count} -> {compressed.graph.edge_count}"],
+                ["node reduction", f"{100 * quality['node_reduction']:.1f}%"],
+                ["internalized traffic", f"{100 * quality['internalized_traffic']:.1f}%"],
+                ["modularity", quality["modularity"]],
+                ["propagation rounds", result.rounds_total],
+            ],
+        )
+    )
+    if args.dot is not None:
+        from repro.graphs.dot import clustering_to_dot
+
+        args.dot.write_text(clustering_to_dot(graph, compressed.clusters))
+        print(f"wrote clustering DOT to {args.dot}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import verify_claims
+
+    ledger = verify_claims(_profile(args.profile))
+    print(
+        render_table(
+            ["claim", "statement", "verdict", "evidence"],
+            [
+                [
+                    c.claim_id,
+                    c.statement,
+                    "PASS" if c.passed else "FAIL",
+                    c.detail,
+                ]
+                for c in ledger
+            ],
+        )
+    )
+    failures = [c for c in ledger if not c.passed]
+    print(f"\n{len(ledger) - len(failures)}/{len(ledger)} claims reproduced")
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_markdown_report
+
+    document = generate_markdown_report(
+        _profile(args.profile), include_timing=not args.no_timing
+    )
+    if args.out is not None:
+        args.out.write_text(document)
+        print(f"wrote report to {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import find_crossover, run_sensitivity_experiment
+
+    rows = run_sensitivity_experiment(
+        args.parameter, graph_size=args.graph_size, algorithm=args.algorithm
+    )
+    print(
+        render_table(
+            ["parameter", "x default", "value", "offloaded %", "local E", "tx E", "total E"],
+            [
+                [
+                    r.parameter,
+                    r.multiplier,
+                    r.value,
+                    f"{100 * r.offloaded_fraction:.1f}%",
+                    r.local_energy,
+                    r.transmission_energy,
+                    r.total_energy,
+                ]
+                for r in rows
+            ],
+        )
+    )
+    crossover = find_crossover(rows)
+    if crossover is not None:
+        print(f"\noffloading collapses at {crossover}x the default {args.parameter}")
+    else:
+        print("\noffloading survives the whole sweep")
+    return 0
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "figures": cmd_figures,
+    "generate": cmd_generate,
+    "plan": cmd_plan,
+    "simulate": cmd_simulate,
+    "report": cmd_report,
+    "sensitivity": cmd_sensitivity,
+    "compress": cmd_compress,
+    "verify": cmd_verify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Label rules: when does a label jump across an edge?
+
+The paper's rule (Section III-A): "We set a weight threshold ``w``.  If the
+weight of an edge associated with a labeled node is larger than ``w``, and
+the other end of this edge is unlabeled, the unlabeled node will be given
+the same label; otherwise, it will be given a different label."
+
+The threshold itself must be chosen per sub-graph.  Three strategies are
+provided; the paper does not fix one, so the default (median edge weight)
+is the one that reproduces Table I's >90 % reduction on NETGEN-style
+workloads and is scale-free with respect to weight units.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+class ThresholdRule(abc.ABC):
+    """Strategy object producing the coupling threshold ``w`` for a graph."""
+
+    @abc.abstractmethod
+    def threshold(self, graph: WeightedGraph) -> float:
+        """Return the weight threshold for *graph*."""
+
+    def is_strong(self, graph: WeightedGraph, weight: float) -> bool:
+        """Whether an edge of the given *weight* counts as highly coupled."""
+        return weight > self.threshold(graph)
+
+
+@dataclass(frozen=True)
+class AbsoluteThreshold(ThresholdRule):
+    """A fixed, unit-bearing threshold ``w``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.value!r}")
+
+    def threshold(self, graph: WeightedGraph) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MeanScaledThreshold(ThresholdRule):
+    """``w = factor * mean(edge weights)``.
+
+    ``factor < 1`` merges aggressively, ``factor > 1`` conservatively.
+    A graph without edges yields threshold 0 (nothing to merge anyway).
+    """
+
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise ValueError(f"factor must be >= 0, got {self.factor!r}")
+
+    def threshold(self, graph: WeightedGraph) -> float:
+        weights = [w for _, _, w in graph.edges()]
+        if not weights:
+            return 0.0
+        return self.factor * (sum(weights) / len(weights))
+
+
+@dataclass(frozen=True)
+class QuantileThreshold(ThresholdRule):
+    """``w`` = the given quantile of the edge-weight distribution.
+
+    ``q = 0.5`` (the default rule) lets labels spread across the heavier
+    half of the edges.
+    """
+
+    q: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {self.q!r}")
+
+    def threshold(self, graph: WeightedGraph) -> float:
+        weights = sorted(w for _, _, w in graph.edges())
+        if not weights:
+            return 0.0
+        # Nearest-rank quantile; q=0 -> smallest, q=1 -> largest.
+        rank = min(len(weights) - 1, int(self.q * len(weights)))
+        return weights[rank]

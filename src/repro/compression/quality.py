@@ -1,0 +1,97 @@
+"""Compression quality metrics.
+
+Two questions decide whether a compression (any clustering that will be
+cut along cluster boundaries) did its job:
+
+* **internalised traffic** — what fraction of the total communication
+  weight now lives *inside* super-nodes, where no cut can ever charge it?
+  Algorithm 1's whole purpose is maximising this without destroying the
+  cut structure.
+* **weighted modularity** — the standard community-quality score
+  ``Q = sum_c (w_in_c / W - (vol_c / 2W)^2)``: did the clustering follow
+  the graph's actual coupling structure or just swallow everything?
+
+Used by the compression ablation bench and the quality tests that pin
+Algorithm 1's behaviour on clustered workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.compression.merge import CompressedGraph
+from repro.graphs.weighted_graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def internalized_traffic_fraction(
+    original: WeightedGraph, clusters: Iterable[Iterable[NodeId]]
+) -> float:
+    """Fraction of total edge weight internal to the given clusters.
+
+    0.0 when the original graph has no edges (nothing to internalise).
+    """
+    membership: dict[NodeId, int] = {}
+    for index, cluster in enumerate(clusters):
+        for node in cluster:
+            if node in membership:
+                raise ValueError(f"node {node!r} appears in two clusters")
+            membership[node] = index
+    total = 0.0
+    internal = 0.0
+    for u, v, weight in original.edges():
+        total += weight
+        if membership.get(u) is not None and membership.get(u) == membership.get(v):
+            internal += weight
+    if total == 0.0:
+        return 0.0
+    return internal / total
+
+
+def weighted_modularity(
+    graph: WeightedGraph, clusters: Iterable[Iterable[NodeId]]
+) -> float:
+    """Newman's weighted modularity of a clustering.
+
+    Ranges in [-0.5, 1); higher means the clustering tracks the graph's
+    dense regions.  Edgeless graphs score 0.0.
+    """
+    total = graph.total_edge_weight()
+    if total == 0.0:
+        return 0.0
+    membership: dict[NodeId, int] = {}
+    for index, cluster in enumerate(clusters):
+        for node in cluster:
+            membership[node] = index
+
+    internal: dict[int, float] = {}
+    volume: dict[int, float] = {}
+    for node in graph.nodes():
+        cluster = membership.get(node)
+        if cluster is None:
+            continue
+        volume[cluster] = volume.get(cluster, 0.0) + graph.weighted_degree(node)
+    for u, v, weight in graph.edges():
+        cu, cv = membership.get(u), membership.get(v)
+        if cu is not None and cu == cv:
+            internal[cu] = internal.get(cu, 0.0) + weight
+
+    q = 0.0
+    for cluster, vol in volume.items():
+        q += internal.get(cluster, 0.0) / total - (vol / (2.0 * total)) ** 2
+    return q
+
+
+def compression_quality(
+    original: WeightedGraph, compressed: CompressedGraph
+) -> dict[str, float]:
+    """Bundle of quality metrics for one compression outcome."""
+    return {
+        "node_reduction": compressed.node_reduction,
+        "edge_reduction": compressed.edge_reduction,
+        "internalized_traffic": internalized_traffic_fraction(
+            original, compressed.clusters
+        ),
+        "modularity": weighted_modularity(original, compressed.clusters),
+    }

@@ -1,0 +1,44 @@
+"""Termination criteria for the label propagation loop.
+
+Two conditions, either of which stops the loop (Section III-A):
+
+* the label update rate ``alpha = update_num / total_num`` drops to or
+  below the preset threshold ``alpha_t`` (formula (7));
+* the number of completed propagation rounds reaches the cap ``beta_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TerminationCriteria:
+    """The (``alpha_t``, ``beta_t``) stopping pair of Algorithm 1."""
+
+    alpha_threshold: float = 0.0
+    """Stop when the per-round update rate is <= this value.  The default
+    0.0 runs propagation to a fixed point."""
+
+    max_rounds: int = 20
+    """Hard cap ``beta_t`` on the number of propagation rounds."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha_threshold <= 1.0:
+            raise ValueError(
+                f"alpha_threshold must be in [0, 1], got {self.alpha_threshold!r}"
+            )
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds!r}")
+
+    def update_rate(self, updates: int, total_nodes: int) -> float:
+        """Formula (7): ``alpha = update_num / total_num``."""
+        if total_nodes <= 0:
+            return 0.0
+        return updates / total_nodes
+
+    def should_stop(self, updates: int, total_nodes: int, rounds_done: int) -> bool:
+        """Whether the propagation loop should stop after this round."""
+        if rounds_done >= self.max_rounds:
+            return True
+        return self.update_rate(updates, total_nodes) <= self.alpha_threshold

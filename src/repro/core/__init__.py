@@ -1,0 +1,38 @@
+"""Public API: the offloading planners.
+
+``OffloadingPlanner`` is the paper's full pipeline — graph compression
+(Algorithm 1), per-sub-graph minimum cut, greedy scheme generation
+(Algorithm 2) — with the cut stage pluggable so the paper's two baselines
+(max-flow min-cut and Kernighan-Lin) run through the identical pipeline,
+exactly as in the evaluation ("we change the minimum cut calculation
+process by the above mentioned three algorithms").
+
+Typical use::
+
+    from repro.core import make_planner
+    planner = make_planner("spectral")
+    result = planner.plan_system(system, call_graphs)
+    print(result.consumption.energy, result.consumption.time)
+"""
+
+from repro.core.baselines import (
+    kl_cut_strategy,
+    make_planner,
+    maxflow_cut_strategy,
+    spectral_cut_strategy,
+)
+from repro.core.config import PlannerConfig
+from repro.core.planner import OffloadingPlanner
+from repro.core.results import CutOutcome, PlanResult, UserPlan
+
+__all__ = [
+    "OffloadingPlanner",
+    "PlannerConfig",
+    "PlanResult",
+    "UserPlan",
+    "CutOutcome",
+    "make_planner",
+    "spectral_cut_strategy",
+    "maxflow_cut_strategy",
+    "kl_cut_strategy",
+]

@@ -1,0 +1,206 @@
+"""The offloading planner: compress, cut, generate (the full pipeline).
+
+Per application: drop unoffloadable functions, compress the remainder
+with Algorithm 1, bisect each compressed connected sub-graph with the
+configured cut strategy, and expand the two sides back to function sets
+(the *parts*).  Per system: partition every user's application into those
+parts and run Algorithm 2's greedy to place them.
+
+Identical applications are planned once: ``plan_system`` caches per
+:class:`~repro.callgraph.model.FunctionCallGraph` object identity, which
+the multi-user workloads exploit by drawing users from a small graph pool.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.compression.compressor import GraphCompressor
+from repro.core.config import PlannerConfig
+from repro.core.results import CutOutcome, CutStrategy, PlanResult, UserPlan
+from repro.graphs.components import connected_components
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mec.greedy import generate_offloading_scheme
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem
+from repro.partition.refinement import fm_refine
+
+
+class OffloadingPlanner:
+    """Plans offloading schemes for single apps and multi-user systems."""
+
+    def __init__(
+        self,
+        cut_strategy: CutStrategy,
+        config: PlannerConfig | None = None,
+        strategy_name: str = "custom",
+    ) -> None:
+        self.cut_strategy = cut_strategy
+        self.config = config or PlannerConfig()
+        self.strategy_name = strategy_name
+        self._compressor = GraphCompressor(self.config.compression)
+
+    # ------------------------------------------------------------------
+    # Per-application planning
+    # ------------------------------------------------------------------
+    def plan_user(self, call_graph: FunctionCallGraph) -> UserPlan:
+        """Compress and cut one application into placement parts."""
+        offloadable = call_graph.offloadable_subgraph()
+        original_nodes = offloadable.node_count
+        original_edges = offloadable.edge_count
+
+        if original_nodes == 0:
+            return UserPlan(
+                app_name=call_graph.app_name,
+                parts=[],
+                bisections=[],
+                compressed_nodes=0,
+                compressed_edges=0,
+                original_nodes=0,
+                original_edges=0,
+            )
+
+        if self.config.skip_compression:
+            working = offloadable
+            expand = lambda ids: set(ids)  # noqa: E731 - trivial identity
+            rounds = 0
+        else:
+            result = self._compressor.compress(offloadable)
+            working = result.compressed.graph
+            compressed = result.compressed
+            expand = lambda ids: compressed.expand(ids)  # noqa: E731
+            rounds = result.rounds_total
+
+        parts: list[frozenset[str]] = []
+        bisections: list[tuple[set[int], set[int]]] = []
+        cut_values: list[float] = []
+
+        for component in connected_components(working):
+            subgraph = working.subgraph(component)
+            if subgraph.node_count < self.config.min_cut_size:
+                index = self._add_part(parts, expand(component))
+                bisections.append(({index}, set()))
+                cut_values.append(0.0)
+                continue
+            if self.config.multiway_parts > 2:
+                self._plan_multiway(subgraph, expand, parts, bisections, cut_values)
+                continue
+            outcome = self.cut_strategy(subgraph)
+            if self.config.refine_cuts and outcome.part_one and outcome.part_two:
+                one, two, value = fm_refine(subgraph, outcome.part_one)
+                outcome = CutOutcome(one, two, value)
+            index_one = self._add_part(parts, expand(outcome.part_one))
+            side_one = {index_one} if index_one is not None else set()
+            index_two = self._add_part(parts, expand(outcome.part_two))
+            side_two = {index_two} if index_two is not None else set()
+            bisections.append((side_one, side_two))
+            cut_values.append(outcome.cut_value)
+
+        return UserPlan(
+            app_name=call_graph.app_name,
+            parts=parts,
+            bisections=bisections,
+            compressed_nodes=working.node_count,
+            compressed_edges=working.edge_count,
+            original_nodes=original_nodes,
+            original_edges=original_edges,
+            cut_values=cut_values,
+            propagation_rounds=rounds,
+        )
+
+    def _plan_multiway(
+        self,
+        subgraph: WeightedGraph,
+        expand,
+        parts: list[frozenset[str]],
+        bisections: list[tuple[set[int], set[int]]],
+        cut_values: list[float],
+    ) -> None:
+        """Extension path: recursive spectral partitioning of one component.
+
+        All resulting parts are registered as one placement group that
+        starts fully remote (Algorithm 2's "insert into V_2"); the greedy
+        loop then pulls individual parts back with its finer granularity.
+        """
+        from repro.spectral.recursive import recursive_spectral_partition
+
+        partition = recursive_spectral_partition(
+            subgraph,
+            max_parts=self.config.multiway_parts,
+            max_cut_ratio=self.config.multiway_max_cut_ratio,
+        )
+        indices: set[int] = set()
+        for piece in partition.parts:
+            index = self._add_part(parts, expand(piece))
+            if index is not None:
+                indices.add(index)
+        bisections.append((set(), indices))
+        cut_values.append(partition.cut_total)
+
+    @staticmethod
+    def _add_part(parts: list[frozenset[str]], functions: set) -> int | None:
+        """Append a part; empty sides produce no part (returns ``None``)."""
+        named = frozenset(str(f) for f in functions)
+        if not named:
+            return None
+        parts.append(named)
+        return len(parts) - 1
+
+    # ------------------------------------------------------------------
+    # System planning
+    # ------------------------------------------------------------------
+    def plan_system(
+        self,
+        system: MECSystem,
+        call_graphs: Mapping[str, FunctionCallGraph],
+    ) -> PlanResult:
+        """Plan every user's application and run Algorithm 2's greedy.
+
+        *call_graphs* maps user id to the application; identical graph
+        objects (``is``-identical) are planned once and their parts reused.
+        """
+        started = time.perf_counter()
+
+        plan_cache: dict[int, UserPlan] = {}
+        user_plans: dict[str, UserPlan] = {}
+        apps: dict[str, PartitionedApplication] = {}
+        bisections: dict[str, list[tuple[set[int], set[int]]]] = {}
+
+        for user in system.users:
+            call_graph = call_graphs.get(user.user_id)
+            if call_graph is None:
+                raise KeyError(f"no call graph supplied for user {user.user_id!r}")
+            cache_key = id(call_graph)
+            if cache_key not in plan_cache:
+                plan_cache[cache_key] = self.plan_user(call_graph)
+            plan = plan_cache[cache_key]
+            user_plans[user.user_id] = plan
+            apps[user.user_id] = PartitionedApplication(
+                user_id=user.user_id,
+                call_graph=call_graph,
+                part_sets=plan.parts,
+            )
+            bisections[user.user_id] = plan.bisections
+
+        greedy = generate_offloading_scheme(
+            system,
+            apps,
+            bisections,
+            weights=self.config.objective,
+            placement_mode=self.config.initial_placement_mode,
+        )
+        elapsed = time.perf_counter() - started
+        return PlanResult(
+            scheme=greedy.scheme,
+            consumption=greedy.consumption,
+            user_plans=user_plans,
+            greedy=greedy,
+            planning_seconds=elapsed,
+            strategy_name=self.strategy_name,
+        )
+
+    def cut_graph(self, graph: WeightedGraph) -> CutOutcome:
+        """Expose the configured cut strategy (used by ablation benches)."""
+        return self.cut_strategy(graph)

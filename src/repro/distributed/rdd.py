@@ -1,0 +1,163 @@
+"""A miniature RDD: lazy, partitioned, immutable datasets.
+
+Supports the subset of the Spark RDD API the reproduction needs —
+``map``, ``filter``, ``flat_map``, ``collect``, ``reduce``, ``count``,
+``sum`` — with genuine lazy evaluation: transformations compose a
+per-partition pipeline that only runs when an action is called, one task
+per partition, scheduled through the owning cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
+
+from repro.distributed.cluster import LocalCluster
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class RDD(Generic[T]):
+    """A partitioned dataset bound to a :class:`LocalCluster`."""
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        partitions: Sequence[Sequence[object]],
+        pipeline: Callable[[list[object]], list[T]],
+    ) -> None:
+        self._cluster = cluster
+        self._partitions = [list(p) for p in partitions]
+        self._pipeline = pipeline
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_items(cls, cluster: LocalCluster, items: list[T], n_partitions: int) -> "RDD[T]":
+        """Split *items* into contiguous, near-equal partitions."""
+        n = len(items)
+        n_partitions = max(1, min(n_partitions, n)) if n else 1
+        base, extra = divmod(n, n_partitions)
+        partitions: list[list[T]] = []
+        start = 0
+        for i in range(n_partitions):
+            size = base + (1 if i < extra else 0)
+            partitions.append(items[start : start + size])
+            start += size
+        return cls(cluster, partitions, lambda partition: list(partition))
+
+    # ------------------------------------------------------------------
+    # Transformations (lazy)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R]) -> "RDD[R]":
+        """Element-wise transformation."""
+        upstream = self._pipeline
+        return RDD(self._cluster, self._partitions, lambda p: [fn(x) for x in upstream(p)])
+
+    def filter(self, predicate: Callable[[T], bool]) -> "RDD[T]":
+        """Keep elements satisfying *predicate*."""
+        upstream = self._pipeline
+        return RDD(
+            self._cluster, self._partitions, lambda p: [x for x in upstream(p) if predicate(x)]
+        )
+
+    def flat_map(self, fn: Callable[[T], Iterable[R]]) -> "RDD[R]":
+        """Element-to-many transformation."""
+        upstream = self._pipeline
+        return RDD(
+            self._cluster,
+            self._partitions,
+            lambda p: [y for x in upstream(p) for y in fn(x)],
+        )
+
+    def map_partitions(self, fn: Callable[[list[T]], Iterable[R]]) -> "RDD[R]":
+        """Partition-wise transformation: *fn* sees each whole partition.
+
+        The Spark idiom for amortising per-partition setup (opening a
+        connection, building a matrix block) across many elements.
+        """
+        upstream = self._pipeline
+        return RDD(self._cluster, self._partitions, lambda p: list(fn(upstream(p))))
+
+    def glom(self) -> "RDD[list[T]]":
+        """Materialise each partition as a single list element."""
+        upstream = self._pipeline
+        return RDD(self._cluster, self._partitions, lambda p: [upstream(p)])
+
+    # ------------------------------------------------------------------
+    # Actions (eager)
+    # ------------------------------------------------------------------
+    def take(self, count: int) -> list[T]:
+        """First *count* elements in partition order.
+
+        Runs partitions one at a time and stops as soon as enough
+        elements are available (unlike ``collect``, which always runs
+        everything).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        taken: list[T] = []
+        pipeline = self._pipeline
+        for partition in self._partitions:
+            if len(taken) >= count:
+                break
+            self._cluster.stats.record_stage(1)
+            taken.extend(pipeline(list(partition)))
+        return taken[:count]
+
+    def reduce_by_key(
+        self: "RDD[tuple[object, R]]", fn: Callable[[R, R], R]
+    ) -> dict[object, R]:
+        """Combine ``(key, value)`` pairs per key (two-level reduce)."""
+        merged: dict[object, R] = {}
+        for partition in self._run_partitions():
+            for key, value in partition:
+                if key in merged:
+                    merged[key] = fn(merged[key], value)
+                else:
+                    merged[key] = value
+        return merged
+
+    def collect(self) -> list[T]:
+        """Materialise the dataset in partition order."""
+        results = self._run_partitions()
+        return [item for partition in results for item in partition]
+
+    def count(self) -> int:
+        """Number of elements."""
+        return sum(len(partition) for partition in self._run_partitions())
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        """Reduce with an associative *fn* (two-level: partition, then driver)."""
+        partials: list[T] = []
+        for partition in self._run_partitions():
+            if not partition:
+                continue
+            accumulator = partition[0]
+            for item in partition[1:]:
+                accumulator = fn(accumulator, item)
+            partials.append(accumulator)
+        if not partials:
+            raise ValueError("reduce() of an empty RDD")
+        result = partials[0]
+        for item in partials[1:]:
+            result = fn(result, item)
+        return result
+
+    def sum(self) -> T:
+        """Sum of elements (numeric RDDs)."""
+        return self.reduce(lambda a, b: a + b)  # type: ignore[operator]
+
+    @property
+    def partition_count(self) -> int:
+        """Number of partitions."""
+        return len(self._partitions)
+
+    def _run_partitions(self) -> list[list[T]]:
+        pipeline = self._pipeline
+
+        def make_task(partition: list[object]) -> Callable[[], list[T]]:
+            return lambda: pipeline(partition)
+
+        return self._cluster.run_stage([make_task(p) for p in self._partitions])

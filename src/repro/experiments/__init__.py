@@ -1,0 +1,56 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module maps to evaluation artifacts:
+
+* :mod:`repro.experiments.table1`  — Table I (compression results);
+* :mod:`repro.experiments.figures` — Figs. 3-5 (single-user energies)
+  and Figs. 6-8 (multi-user energies);
+* :mod:`repro.experiments.timing`  — Fig. 9 (running time, 4 series);
+* :mod:`repro.experiments.reporting` — normalisation and ASCII rendering.
+
+Every experiment takes an :class:`~repro.workloads.profiles.ExperimentProfile`
+so the same code runs the paper's scales and the laptop-bench scales.
+"""
+
+from repro.experiments.claims import CLAIMS, ClaimResult, verify_claims
+from repro.experiments.figures import (
+    EnergyRow,
+    run_multiuser_energy_experiment,
+    run_single_user_energy_experiment,
+)
+from repro.experiments.report import generate_markdown_report
+from repro.experiments.reporting import normalize_rows, render_table
+from repro.experiments.sensitivity import (
+    SensitivityRow,
+    find_crossover,
+    run_sensitivity_experiment,
+)
+from repro.experiments.table1 import CompressionRow, run_table1
+from repro.experiments.topologies import (
+    TopologyRow,
+    run_topology_experiment,
+    winners_by_topology,
+)
+from repro.experiments.timing import TimingRow, run_timing_experiment
+
+__all__ = [
+    "run_table1",
+    "CompressionRow",
+    "run_single_user_energy_experiment",
+    "run_multiuser_energy_experiment",
+    "EnergyRow",
+    "run_timing_experiment",
+    "TimingRow",
+    "normalize_rows",
+    "render_table",
+    "generate_markdown_report",
+    "run_sensitivity_experiment",
+    "SensitivityRow",
+    "find_crossover",
+    "run_topology_experiment",
+    "TopologyRow",
+    "winners_by_topology",
+    "verify_claims",
+    "ClaimResult",
+    "CLAIMS",
+]

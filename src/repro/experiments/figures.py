@@ -1,0 +1,160 @@
+"""Figures 3-8: energy consumption, single-user and multi-user.
+
+Single-user sweep (Figs. 3-5): one user, graph sizes swept, the three cut
+algorithms compared on local energy (Fig. 3), transmission energy
+(Fig. 4) and total energy (Fig. 5).
+
+Multi-user sweep (Figs. 6-8): graph size fixed (paper: 1000 functions),
+user count swept, same three quantities (Figs. 6, 7, 8).
+
+Each data point averages *repetitions* independently generated networks —
+single random graphs are noisy enough to flip algorithm orderings, and
+the paper's bars report the aggregate trend.  Values are reported raw;
+the benches normalise them with
+:func:`repro.experiments.reporting.normalize_rows`, matching the paper's
+normalized y-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import make_planner
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, SystemConsumption, UserContext
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+
+ALGORITHMS = ("spectral", "maxflow", "kl")
+"""The paper's three series: ours, max-flow min-cut, Kernighan-Lin."""
+
+_SEED_STRIDE = 37
+"""Seed spacing between repetitions (arbitrary, fixed for determinism)."""
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """One (algorithm, scale) data point of Figs. 3-8 (mean over reps)."""
+
+    algorithm: str
+    scale: int
+    """Graph size (single-user sweep) or user count (multi-user sweep)."""
+
+    local_energy: float
+    transmission_energy: float
+    total_energy: float
+    total_time: float
+    offloaded_functions: float
+    repetitions: int = 1
+
+
+class _Averager:
+    """Accumulates per-(algorithm, scale) consumption means."""
+
+    def __init__(self) -> None:
+        self._sums: dict[tuple[str, int], list[float]] = {}
+        self._counts: dict[tuple[str, int], int] = {}
+
+    def add(
+        self, algorithm: str, scale: int, consumption: SystemConsumption, offloaded: int
+    ) -> None:
+        key = (algorithm, scale)
+        entry = self._sums.setdefault(key, [0.0, 0.0, 0.0, 0.0, 0.0])
+        entry[0] += consumption.local_energy
+        entry[1] += consumption.transmission_energy
+        entry[2] += consumption.energy
+        entry[3] += consumption.time
+        entry[4] += offloaded
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def rows(self, algorithms: tuple[str, ...], scales: tuple[int, ...]) -> list[EnergyRow]:
+        rows: list[EnergyRow] = []
+        for scale in scales:
+            for algorithm in algorithms:
+                key = (algorithm, scale)
+                if key not in self._sums:
+                    continue
+                n = self._counts[key]
+                sums = self._sums[key]
+                rows.append(
+                    EnergyRow(
+                        algorithm=algorithm,
+                        scale=scale,
+                        local_energy=sums[0] / n,
+                        transmission_energy=sums[1] / n,
+                        total_energy=sums[2] / n,
+                        total_time=sums[3] / n,
+                        offloaded_functions=sums[4] / n,
+                        repetitions=n,
+                    )
+                )
+        return rows
+
+
+def run_single_user_energy_experiment(
+    profile: ExperimentProfile | None = None,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    repetitions: int = 5,
+) -> list[EnergyRow]:
+    """Figs. 3-5: one user, sweep graph sizes, compare algorithms."""
+    profile = profile or quick_profile()
+    averager = _Averager()
+    for size in profile.graph_sizes:
+        for rep in range(max(1, repetitions)):
+            config = NetgenConfig(
+                n_nodes=size,
+                n_edges=profile.edges_for(size),
+                seed=profile.seed + _SEED_STRIDE * rep,
+            )
+            graph = netgen_graph(config)
+            call_graph = call_graph_from_weighted_graph(
+                graph,
+                app_name=f"app-{size}-{rep}",
+                unoffloadable_fraction=profile.unoffloadable_fraction,
+                seed=profile.seed + rep,
+            )
+            device = MobileDevice(device_id="user00000", profile=profile.device)
+            server = EdgeServer(total_capacity=profile.server_capacity_per_user)
+            system = MECSystem(server, [UserContext(device, call_graph)])
+
+            for algorithm in algorithms:
+                planner = make_planner(algorithm)
+                result = planner.plan_system(system, {"user00000": call_graph})
+                averager.add(
+                    algorithm, size, result.consumption, result.scheme.total_offloaded
+                )
+    return averager.rows(algorithms, profile.graph_sizes)
+
+
+def run_multiuser_energy_experiment(
+    profile: ExperimentProfile | None = None,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    repetitions: int = 2,
+) -> list[EnergyRow]:
+    """Figs. 6-8: fixed graph size, sweep user counts, compare algorithms."""
+    profile = profile or quick_profile()
+    averager = _Averager()
+    for n_users in profile.user_counts:
+        for rep in range(max(1, repetitions)):
+            rep_profile = ExperimentProfile(
+                name=profile.name,
+                graph_sizes=profile.graph_sizes,
+                user_counts=profile.user_counts,
+                multiuser_graph_size=profile.multiuser_graph_size,
+                edges_per_node=profile.edges_per_node,
+                device=profile.device,
+                server_capacity_per_user=profile.server_capacity_per_user,
+                unoffloadable_fraction=profile.unoffloadable_fraction,
+                seed=profile.seed + _SEED_STRIDE * rep,
+                distinct_graphs=profile.distinct_graphs,
+            )
+            workload = build_mec_system(n_users, rep_profile)
+            for algorithm in algorithms:
+                planner = make_planner(algorithm)
+                result = planner.plan_system(workload.system, workload.call_graphs)
+                averager.add(
+                    algorithm, n_users, result.consumption, result.scheme.total_offloaded
+                )
+    return averager.rows(algorithms, profile.user_counts)

@@ -1,0 +1,128 @@
+"""One-shot markdown report over the full evaluation.
+
+``generate_markdown_report`` runs every reproduction experiment (Table I,
+the two energy sweeps, the timing comparison) at the given profile and
+renders a single self-contained markdown document — the artifact a
+nightly job would archive.  Available from the CLI as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    EnergyRow,
+    run_multiuser_energy_experiment,
+    run_single_user_energy_experiment,
+)
+from repro.experiments.reporting import normalize_rows
+from repro.experiments.table1 import run_table1
+from repro.experiments.timing import run_timing_experiment
+from repro.workloads.netgen import NetgenConfig
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+
+
+def _markdown_table(headers: list[str], rows: list[list[object]]) -> str:
+    def fmt(cell: object) -> str:
+        return f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(fmt(c) for c in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _energy_section(title: str, rows: list[EnergyRow], scale_name: str) -> str:
+    normalized_total = normalize_rows(rows, lambda r: r.total_energy)
+    body = _markdown_table(
+        [
+            "algorithm",
+            scale_name,
+            "local E",
+            "tx E",
+            "total E",
+            "total E (norm)",
+            "total T",
+        ],
+        [
+            [
+                r.algorithm,
+                r.scale,
+                r.local_energy,
+                r.transmission_energy,
+                r.total_energy,
+                normalized_total[i],
+                r.total_time,
+            ]
+            for i, r in enumerate(rows)
+        ],
+    )
+    return f"## {title}\n\n{body}\n"
+
+
+def generate_markdown_report(
+    profile: ExperimentProfile | None = None,
+    include_timing: bool = True,
+    single_user_repetitions: int = 5,
+    multiuser_repetitions: int = 2,
+) -> str:
+    """Run the evaluation and return the full markdown document."""
+    profile = profile or quick_profile()
+    sections: list[str] = [
+        "# COPMECS reproduction report",
+        "",
+        f"Profile: **{profile.name}** — graph sizes {list(profile.graph_sizes)}, "
+        f"user counts {list(profile.user_counts)}, seed {profile.seed}.",
+        "",
+    ]
+
+    # Table I.
+    configs = [
+        NetgenConfig(n_nodes=s, n_edges=profile.edges_for(s), seed=profile.seed)
+        for s in profile.graph_sizes
+    ]
+    table1 = run_table1(configs)
+    sections.append("## Table I — graph compression\n")
+    sections.append(
+        _markdown_table(
+            ["network", "functions", "edges", "functions after", "edges after", "reduction"],
+            [
+                [
+                    r.network,
+                    r.function_number,
+                    r.edge_number,
+                    r.function_number_after,
+                    r.edge_number_after,
+                    f"{100 * r.node_reduction:.1f}%",
+                ]
+                for r in table1
+            ],
+        )
+        + "\n"
+    )
+
+    single = run_single_user_energy_experiment(
+        profile, repetitions=single_user_repetitions
+    )
+    sections.append(
+        _energy_section("Figures 3-5 — single user energies", single, "graph size")
+    )
+
+    multi = run_multiuser_energy_experiment(profile, repetitions=multiuser_repetitions)
+    sections.append(
+        _energy_section("Figures 6-8 — multi-user energies", multi, "users")
+    )
+
+    if include_timing:
+        timing = run_timing_experiment(profile, repeats=2)
+        sections.append("## Figure 9 — running time\n")
+        sections.append(
+            _markdown_table(
+                ["algorithm", "graph size", "seconds"],
+                [[r.algorithm, r.graph_size, r.seconds] for r in timing],
+            )
+            + "\n"
+        )
+
+    return "\n".join(sections)

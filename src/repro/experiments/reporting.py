@@ -1,0 +1,47 @@
+"""Result normalisation and plain-text rendering.
+
+The paper's figures report *normalized* consumption: every bar is divided
+by the maximum across all algorithms and sizes (the Kernighan-Lin bar at
+the largest scale reads 1.00 in Figs. 3-8).  ``normalize_rows`` applies
+the same convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+Row = TypeVar("Row")
+
+
+def normalize_rows(
+    rows: Sequence[Row], value: Callable[[Row], float]
+) -> dict[int, float]:
+    """Normalise ``value(row)`` by the maximum over *rows*.
+
+    Returns ``{index in rows: normalized value}``; an all-zero series
+    normalises to zeros rather than dividing by zero.
+    """
+    values = [value(row) for row in rows]
+    peak = max(values) if values else 0.0
+    if peak <= 0:
+        return {i: 0.0 for i in range(len(values))}
+    return {i: v / peak for i, v in enumerate(values)}
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (the harness's report format)."""
+    table = [list(map(str, headers))] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(table):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

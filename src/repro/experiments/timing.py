@@ -1,0 +1,107 @@
+"""Figure 9: running time of the four series.
+
+"The running time of our algorithm without using Spark framework is
+significantly greater than that of the other two algorithms when the
+scale of the graph keep increasing.  Most of the running time is wasted
+on lots of matrix multiplications about the graph spectrum calculation.
+When we use Spark to do the matrix multiplications, the running time is
+close to the other two algorithms."
+
+Our four series mirror that setup:
+
+* ``spectral-power``  — the paper's algorithm with the *from-scratch
+  dense power-iteration* eigensolver (the "without Spark" series: naive
+  repeated matrix multiplication);
+* ``maxflow``         — Edmonds-Karp pipeline;
+* ``kl``              — Kernighan-Lin pipeline;
+* ``spectral-spark``  — the mini-Spark cluster distributing the Lanczos
+  mat-vecs (the "with Spark" series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import (
+    distributed_spectral_cut_strategy,
+    kl_cut_strategy,
+    maxflow_cut_strategy,
+    spectral_cut_strategy,
+)
+from repro.core.planner import OffloadingPlanner
+from repro.core.results import CutStrategy
+from repro.distributed.cluster import LocalCluster
+from repro.spectral.fiedler import FiedlerMethod, FiedlerSolver
+from repro.utils.timer import Stopwatch
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+
+TIMING_SERIES = ("spectral-power", "maxflow", "kl", "spectral-spark")
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One (series, graph size) running-time sample of Fig. 9."""
+
+    algorithm: str
+    graph_size: int
+    seconds: float
+    repeats: int
+
+
+def _strategies(cluster: LocalCluster) -> dict[str, CutStrategy]:
+    power_solver = FiedlerSolver(method=FiedlerMethod.POWER)
+    return {
+        "spectral-power": spectral_cut_strategy(power_solver),
+        "maxflow": maxflow_cut_strategy(),
+        "kl": kl_cut_strategy(),
+        "spectral-spark": distributed_spectral_cut_strategy(cluster),
+    }
+
+
+def run_timing_experiment(
+    profile: ExperimentProfile | None = None,
+    series: tuple[str, ...] = TIMING_SERIES,
+    repeats: int = 3,
+    cluster_workers: int = 2,
+) -> list[TimingRow]:
+    """Time the per-application pipeline for each series and graph size.
+
+    Each measurement plans one application end-to-end (compression + cut)
+    *repeats* times and reports the mean; the workload graph is generated
+    once per size so all series cut the identical graph.
+    """
+    profile = profile or quick_profile()
+    rows: list[TimingRow] = []
+    with LocalCluster(workers=cluster_workers) as cluster:
+        strategies = _strategies(cluster)
+        unknown = set(series) - set(strategies)
+        if unknown:
+            raise ValueError(f"unknown timing series: {sorted(unknown)}")
+        for size in profile.graph_sizes:
+            config = NetgenConfig(
+                n_nodes=size, n_edges=profile.edges_for(size), seed=profile.seed
+            )
+            graph = netgen_graph(config)
+            call_graph = call_graph_from_weighted_graph(
+                graph,
+                app_name=f"timing-{size}",
+                unoffloadable_fraction=profile.unoffloadable_fraction,
+                seed=profile.seed,
+            )
+            for name in series:
+                planner = OffloadingPlanner(strategies[name], strategy_name=name)
+                watch = Stopwatch()
+                for _ in range(max(1, repeats)):
+                    with watch:
+                        planner.plan_user(call_graph)
+                rows.append(
+                    TimingRow(
+                        algorithm=name,
+                        graph_size=size,
+                        seconds=watch.mean_lap,
+                        repeats=watch.laps,
+                    )
+                )
+    return rows

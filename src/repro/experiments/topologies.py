@@ -1,0 +1,109 @@
+"""Topology robustness: the three-algorithm comparison off NETGEN.
+
+The reproduction experiments all use NETGEN-shaped workloads (clustered,
+multi-component); this experiment re-runs the comparison on three classic
+random models to separate the paper's structural assumptions from its
+algorithmic claims.  The robustness bench and the CLI both drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.core.baselines import make_planner
+from repro.graphs.random_models import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+
+TOPOLOGIES = ("netgen", "erdos-renyi", "barabasi-albert", "watts-strogatz")
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One (topology, algorithm) outcome."""
+
+    topology: str
+    algorithm: str
+    local_energy: float
+    transmission_energy: float
+    total_energy: float
+    combined: float
+    offloaded_functions: int
+
+
+def build_topology_graph(
+    topology: str, size: int, edges: int, seed: int
+) -> WeightedGraph:
+    """One graph of the named *topology* with roughly matched density."""
+    if topology == "netgen":
+        return netgen_graph(NetgenConfig(n_nodes=size, n_edges=edges, seed=seed))
+    if topology == "erdos-renyi":
+        probability = min(1.0, 2.0 * edges / (size * (size - 1)))
+        return erdos_renyi_graph(size, probability, seed=seed)
+    if topology == "barabasi-albert":
+        return barabasi_albert_graph(size, attachments=max(1, edges // size), seed=seed)
+    if topology == "watts-strogatz":
+        return watts_strogatz_graph(
+            size, ring_neighbors=2 * max(1, edges // size // 2), seed=seed
+        )
+    raise ValueError(f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
+
+
+def run_topology_experiment(
+    profile: ExperimentProfile | None = None,
+    size: int | None = None,
+    topologies: tuple[str, ...] = TOPOLOGIES,
+    algorithms: tuple[str, ...] = ("spectral", "maxflow", "kl"),
+) -> list[TopologyRow]:
+    """Run every algorithm on every topology (single-user systems)."""
+    profile = profile or quick_profile()
+    chosen_size = size if size is not None else profile.graph_sizes[0]
+    edges = profile.edges_for(chosen_size)
+
+    rows: list[TopologyRow] = []
+    for topology in topologies:
+        graph = build_topology_graph(topology, chosen_size, edges, profile.seed)
+        app: FunctionCallGraph = call_graph_from_weighted_graph(
+            graph,
+            app_name=topology,
+            unoffloadable_fraction=profile.unoffloadable_fraction,
+            seed=profile.seed,
+        )
+        device = MobileDevice("user00000", profile=profile.device)
+        system = MECSystem(
+            EdgeServer(profile.server_capacity_per_user), [UserContext(device, app)]
+        )
+        for algorithm in algorithms:
+            result = make_planner(algorithm).plan_system(system, {"user00000": app})
+            consumption = result.consumption
+            rows.append(
+                TopologyRow(
+                    topology=topology,
+                    algorithm=algorithm,
+                    local_energy=consumption.local_energy,
+                    transmission_energy=consumption.transmission_energy,
+                    total_energy=consumption.energy,
+                    combined=consumption.combined(),
+                    offloaded_functions=result.scheme.total_offloaded,
+                )
+            )
+    return rows
+
+
+def winners_by_topology(rows: list[TopologyRow]) -> dict[str, str]:
+    """Lowest combined objective per topology."""
+    best: dict[str, TopologyRow] = {}
+    for row in rows:
+        current = best.get(row.topology)
+        if current is None or row.combined < current.combined:
+            best[row.topology] = row
+    return {topology: row.algorithm for topology, row in best.items()}

@@ -1,0 +1,56 @@
+"""Connected-component utilities.
+
+Algorithm 1 splits the function data flow graph "based on component
+boundaries" before compressing each piece independently; these helpers
+provide that split.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.traversal import bfs_order
+from repro.graphs.weighted_graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def connected_components(graph: WeightedGraph) -> list[set[NodeId]]:
+    """Return the connected components as a list of node sets.
+
+    Components are ordered by the insertion order of their first node, so
+    the result is deterministic for a deterministically built graph.
+    """
+    remaining = set(graph.nodes())
+    components: list[set[NodeId]] = []
+    for node in graph.nodes():
+        if node not in remaining:
+            continue
+        component = set(bfs_order(graph, node))
+        remaining -= component
+        components.append(component)
+    return components
+
+
+def component_subgraphs(graph: WeightedGraph) -> list[WeightedGraph]:
+    """Return each connected component as an induced subgraph."""
+    return [graph.subgraph(component) for component in connected_components(graph)]
+
+
+def is_connected(graph: WeightedGraph) -> bool:
+    """Whether the graph has at most one connected component.
+
+    The empty graph is considered connected (there is nothing to separate).
+    """
+    if graph.node_count == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_order(graph, first)) == graph.node_count
+
+
+def largest_component(graph: WeightedGraph) -> set[NodeId]:
+    """Return the node set of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return max(components, key=len)

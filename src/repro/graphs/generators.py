@@ -1,0 +1,136 @@
+"""Deterministic small-graph generators.
+
+These are structural building blocks used by tests, examples and the
+higher-level workload generators in :mod:`repro.workloads`.  Every
+generator takes an explicit seed (where randomness is involved) and
+returns a fresh :class:`~repro.graphs.weighted_graph.WeightedGraph`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.utils.rng import RandomSource
+
+
+def path_graph(n: int, node_weight: float = 1.0, edge_weight: float = 1.0) -> WeightedGraph:
+    """Return a path ``0 - 1 - ... - (n-1)``."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_node(i, weight=node_weight)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, weight=edge_weight)
+    return graph
+
+
+def star_graph(n_leaves: int, node_weight: float = 1.0, edge_weight: float = 1.0) -> WeightedGraph:
+    """Return a star with center ``0`` and leaves ``1..n_leaves``."""
+    if n_leaves < 1:
+        raise ValueError(f"n_leaves must be >= 1, got {n_leaves}")
+    graph = WeightedGraph()
+    graph.add_node(0, weight=node_weight)
+    for i in range(1, n_leaves + 1):
+        graph.add_node(i, weight=node_weight)
+        graph.add_edge(0, i, weight=edge_weight)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, node_weight: float = 1.0, edge_weight: float = 1.0) -> WeightedGraph:
+    """Return a rows x cols grid; node ids are ``(row, col)`` tuples."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"rows and cols must be > 0, got {rows}x{cols}")
+    graph = WeightedGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c), weight=node_weight)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1), weight=edge_weight)
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c), weight=edge_weight)
+    return graph
+
+
+def two_cluster_graph(
+    cluster_size: int,
+    intra_weight: float = 10.0,
+    bridge_weight: float = 1.0,
+    node_weight: float = 1.0,
+) -> WeightedGraph:
+    """Return two dense clusters joined by a single light bridge edge.
+
+    The minimum cut is unambiguously the bridge, which makes this graph
+    the canonical fixture for cut-algorithm tests: every correct bisection
+    method must separate the clusters.
+    """
+    if cluster_size < 2:
+        raise ValueError(f"cluster_size must be >= 2, got {cluster_size}")
+    graph = WeightedGraph()
+    total = 2 * cluster_size
+    for i in range(total):
+        graph.add_node(i, weight=node_weight)
+    for base in (0, cluster_size):
+        members = range(base, base + cluster_size)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j, weight=intra_weight)
+    graph.add_edge(cluster_size - 1, cluster_size, weight=bridge_weight)
+    return graph
+
+
+def random_connected_graph(
+    n_nodes: int,
+    n_edges: int,
+    seed: int = 0,
+    node_weight_range: tuple[float, float] = (1.0, 10.0),
+    edge_weight_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightedGraph:
+    """Return a random connected graph with exact node and edge counts.
+
+    A random spanning tree guarantees connectivity; remaining edges are
+    sampled uniformly from the non-edges.  ``n_edges`` must lie between
+    ``n_nodes - 1`` and ``n_nodes * (n_nodes - 1) / 2``.
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
+    min_edges = max(0, n_nodes - 1)
+    max_edges = n_nodes * (n_nodes - 1) // 2
+    if not min_edges <= n_edges <= max_edges:
+        raise ValueError(
+            f"n_edges must be in [{min_edges}, {max_edges}] for {n_nodes} nodes, got {n_edges}"
+        )
+    rng = RandomSource(seed)
+    graph = WeightedGraph()
+    for i in range(n_nodes):
+        graph.add_node(i, weight=rng.uniform(*node_weight_range))
+
+    # Random spanning tree: attach each new node to a random existing one.
+    order = rng.shuffled(range(n_nodes))
+    for position in range(1, n_nodes):
+        u = order[position]
+        v = order[rng.randint(0, position - 1)]
+        graph.add_edge(u, v, weight=rng.uniform(*edge_weight_range))
+
+    # Top up with random extra edges until the requested count is reached.
+    attempts_left = 50 * max(1, n_edges)
+    while graph.edge_count < n_edges and attempts_left > 0:
+        attempts_left -= 1
+        u = rng.randint(0, n_nodes - 1)
+        v = rng.randint(0, n_nodes - 1)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, weight=rng.uniform(*edge_weight_range))
+    if graph.edge_count < n_edges:
+        # Dense regime: fall back to a deterministic scan of the non-edges.
+        for u in range(n_nodes):
+            for v in range(u + 1, n_nodes):
+                if graph.edge_count >= n_edges:
+                    break
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v, weight=rng.uniform(*edge_weight_range))
+            if graph.edge_count >= n_edges:
+                break
+    return graph

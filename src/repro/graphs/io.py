@@ -1,0 +1,74 @@
+"""Graph serialization (JSON dict form and edge lists).
+
+Experiment workloads are cached to disk between harness runs; the format
+round-trips node weights, edge weights and node metadata exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+def graph_to_dict(graph: WeightedGraph) -> dict[str, Any]:
+    """Return a JSON-serialisable dict describing *graph*.
+
+    Node ids are stored as given; callers who need JSON round-tripping
+    should use string or int node ids.
+    """
+    return {
+        "nodes": [
+            {"id": node, "weight": graph.node_weight(node), "data": graph.node_data(node)}
+            for node in graph.nodes()
+        ],
+        "edges": [{"u": u, "v": v, "weight": w} for u, v, w in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> WeightedGraph:
+    """Rebuild a graph from the dict produced by :func:`graph_to_dict`."""
+    graph = WeightedGraph()
+    for entry in payload.get("nodes", []):
+        graph.add_node(entry["id"], weight=entry.get("weight", 1.0), **entry.get("data", {}))
+    for entry in payload.get("edges", []):
+        graph.add_edge(entry["u"], entry["v"], weight=entry.get("weight", 1.0))
+    return graph
+
+
+def graph_from_edge_list(
+    lines: Iterable[str], default_node_weight: float = 1.0
+) -> WeightedGraph:
+    """Parse a whitespace-separated ``u v weight`` edge list.
+
+    Blank lines and lines starting with ``#`` are ignored.  Node ids are
+    kept as strings.
+    """
+    edges: list[tuple[str, str, float]] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            u, v = parts
+            weight = 1.0
+        elif len(parts) == 3:
+            u, v = parts[0], parts[1]
+            weight = float(parts[2])
+        else:
+            raise ValueError(f"malformed edge list line: {raw!r}")
+        edges.append((u, v, weight))
+    return WeightedGraph.from_edges(edges, default_node_weight=default_node_weight)
+
+
+def save_graph_json(graph: WeightedGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2, sort_keys=False))
+
+
+def load_graph_json(path: str | Path) -> WeightedGraph:
+    """Load a graph previously written by :func:`save_graph_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,109 @@
+"""Laplacian and adjacency matrix builders.
+
+Section III-B of the paper rests on the spectrum of the graph Laplacian
+``L = D - A`` (Theorems 1-3).  Builders return dense numpy arrays for the
+from-scratch eigensolvers and scipy sparse matrices for large graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def node_index(graph: WeightedGraph, order: Sequence[NodeId] | None = None) -> dict[NodeId, int]:
+    """Return a node -> row index mapping.
+
+    The caller may fix the *order*; by default insertion order is used so
+    that eigenvector entries line up with ``graph.node_list()``.
+    """
+    nodes = list(order) if order is not None else graph.node_list()
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("node order contains duplicates")
+    for node in nodes:
+        if not graph.has_node(node):
+            raise KeyError(f"node {node!r} does not exist")
+    if len(nodes) != graph.node_count:
+        raise ValueError("node order must cover every node exactly once")
+    return {node: i for i, node in enumerate(nodes)}
+
+
+def adjacency_matrix(
+    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+) -> np.ndarray:
+    """Return the dense weighted adjacency matrix ``A``."""
+    index = node_index(graph, order)
+    n = len(index)
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v, w in graph.edges():
+        i, j = index[u], index[v]
+        matrix[i, j] = w
+        matrix[j, i] = w
+    return matrix
+
+
+def degree_vector(graph: WeightedGraph, order: Sequence[NodeId] | None = None) -> np.ndarray:
+    """Return the weighted degree vector (diagonal of ``D``)."""
+    index = node_index(graph, order)
+    degrees = np.zeros(len(index), dtype=float)
+    for node, i in index.items():
+        degrees[i] = graph.weighted_degree(node)
+    return degrees
+
+
+def laplacian_matrix(
+    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+) -> np.ndarray:
+    """Return the dense combinatorial Laplacian ``L = D - A``."""
+    adjacency = adjacency_matrix(graph, order)
+    return np.diag(adjacency.sum(axis=1)) - adjacency
+
+
+def normalized_laplacian_matrix(
+    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+) -> np.ndarray:
+    """Return the symmetric normalized Laplacian ``I - D^-1/2 A D^-1/2``.
+
+    Isolated nodes (zero weighted degree) get a zero row/column, matching
+    the networkx convention.
+    """
+    adjacency = adjacency_matrix(graph, order)
+    degrees = adjacency.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    scaled = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    identity = np.diag((degrees > 0).astype(float))
+    return identity - scaled
+
+
+def sparse_laplacian(
+    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+) -> sparse.csr_matrix:
+    """Return the combinatorial Laplacian as a CSR sparse matrix.
+
+    Used by the scipy-backed Fiedler solver on large compressed graphs
+    where a dense ``n x n`` array would be wasteful.
+    """
+    index = node_index(graph, order)
+    n = len(index)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    degrees = np.zeros(n, dtype=float)
+    for u, v, w in graph.edges():
+        i, j = index[u], index[v]
+        rows.extend((i, j))
+        cols.extend((j, i))
+        vals.extend((-w, -w))
+        degrees[i] += w
+        degrees[j] += w
+    rows.extend(range(n))
+    cols.extend(range(n))
+    vals.extend(degrees.tolist())
+    return sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))

@@ -1,0 +1,126 @@
+"""Structural metrics of weighted graphs.
+
+Used by the workload generators' calibration tests (does a NETGEN graph
+actually look like a function data flow graph?), by the CLI's verbose
+output, and by the conductance/Cheeger machinery in
+:mod:`repro.spectral.cheeger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def density(graph: WeightedGraph) -> float:
+    """Edges present / edges possible (0 for graphs with < 2 nodes)."""
+    n = graph.node_count
+    if n < 2:
+        return 0.0
+    return graph.edge_count / (n * (n - 1) / 2)
+
+
+def average_degree(graph: WeightedGraph) -> float:
+    """Mean number of incident edges per node."""
+    if graph.node_count == 0:
+        return 0.0
+    return 2.0 * graph.edge_count / graph.node_count
+
+
+def degree_histogram(graph: WeightedGraph) -> dict[int, int]:
+    """``{degree: node count}`` over all nodes."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class WeightSummary:
+    """Five-number-ish summary of a weight population."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+
+    @staticmethod
+    def of(values: Iterable[float]) -> "WeightSummary":
+        """Summarise *values* (empty input gives an all-zero summary)."""
+        ordered = sorted(values)
+        if not ordered:
+            return WeightSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        n = len(ordered)
+        middle = ordered[n // 2] if n % 2 else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+        return WeightSummary(
+            count=n,
+            total=sum(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=sum(ordered) / n,
+            median=middle,
+        )
+
+
+def edge_weight_summary(graph: WeightedGraph) -> WeightSummary:
+    """Summary of the communication-weight distribution."""
+    return WeightSummary.of(w for _, _, w in graph.edges())
+
+
+def node_weight_summary(graph: WeightedGraph) -> WeightSummary:
+    """Summary of the computation-weight distribution."""
+    return WeightSummary.of(graph.node_weight(n) for n in graph.nodes())
+
+
+def clustering_coefficient(graph: WeightedGraph, node: NodeId) -> float:
+    """Unweighted local clustering coefficient of *node*.
+
+    Fraction of the node's neighbor pairs that are themselves connected;
+    0 for degree < 2.
+    """
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if graph.has_edge(neighbors[i], neighbors[j]):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: WeightedGraph) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    if graph.node_count == 0:
+        return 0.0
+    return sum(clustering_coefficient(graph, n) for n in graph.nodes()) / graph.node_count
+
+
+def volume(graph: WeightedGraph, nodes: Iterable[NodeId]) -> float:
+    """Sum of weighted degrees over *nodes* (the conductance denominator)."""
+    return sum(graph.weighted_degree(n) for n in nodes)
+
+
+def conductance(graph: WeightedGraph, part: Iterable[NodeId]) -> float:
+    """``phi(S) = cut(S) / min(vol(S), vol(V-S))``.
+
+    Raises ``ValueError`` for an empty side (conductance is undefined);
+    returns 0.0 when both sides have zero volume (edgeless graphs).
+    """
+    inside = set(part)
+    outside = set(graph.nodes()) - inside
+    if not inside or not outside:
+        raise ValueError("conductance needs a proper bipartition")
+    cut = graph.cut_weight(inside)
+    denominator = min(volume(graph, inside), volume(graph, outside))
+    if denominator == 0:
+        return 0.0
+    return cut / denominator

@@ -1,0 +1,70 @@
+"""Device battery model (the paper's motivating constraint).
+
+The introduction's whole case for offloading is battery life ("nearly
+half of responders were dissatisfied with the battery power of their
+mobile phones").  This module makes that constraint first-class: a
+:class:`BatteryModel` prices a planned scheme in battery-percentage
+terms, checks feasibility against a remaining charge, and estimates how
+many runs of the application a charge sustains — the numbers an end user
+would actually see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mec.energy import ConsumptionBreakdown
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """One device's battery in the model's energy units."""
+
+    capacity: float
+    """Full-charge energy, in the same units as the consumption model."""
+
+    reserve_fraction: float = 0.1
+    """Charge fraction the OS refuses to spend on apps (low-battery
+    cutoff); feasibility is judged against the usable region above it."""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacity, "capacity")
+        ensure_in_range(self.reserve_fraction, 0.0, 1.0, "reserve_fraction")
+
+    @property
+    def usable_capacity(self) -> float:
+        """Energy available to applications on a full charge."""
+        return self.capacity * (1.0 - self.reserve_fraction)
+
+    def drain_fraction(self, consumption: ConsumptionBreakdown) -> float:
+        """Battery fraction one execution of the scheme consumes."""
+        return consumption.energy / self.capacity
+
+    def is_feasible(
+        self, consumption: ConsumptionBreakdown, charge_fraction: float = 1.0
+    ) -> bool:
+        """Whether one execution fits in the charge above the reserve."""
+        ensure_in_range(charge_fraction, 0.0, 1.0, "charge_fraction")
+        available = self.capacity * max(0.0, charge_fraction - self.reserve_fraction)
+        return consumption.energy <= available
+
+    def runs_per_charge(self, consumption: ConsumptionBreakdown) -> int:
+        """Complete executions a full charge sustains (reserve respected)."""
+        if consumption.energy <= 0:
+            raise ValueError("consumption must be positive to estimate runs")
+        return int(self.usable_capacity // consumption.energy)
+
+    def lifetime_gain(
+        self,
+        with_offloading: ConsumptionBreakdown,
+        all_local: ConsumptionBreakdown,
+    ) -> float:
+        """Multiplier on runs-per-charge that offloading buys.
+
+        > 1 means the scheme extends battery life; the headline number
+        for an end-user changelog ("2.3x more photo edits per charge").
+        """
+        if with_offloading.energy <= 0 or all_local.energy <= 0:
+            raise ValueError("consumptions must be positive")
+        return all_local.energy / with_offloading.energy

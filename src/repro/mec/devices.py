@@ -1,0 +1,95 @@
+"""Mobile devices and the shared edge server.
+
+Section II's notation maps onto these classes as follows: ``I_c^i`` is
+:attr:`MobileDevice.compute_capacity`; ``p_c`` and ``p_t`` are the unit
+power draws for local computing and wireless transmission; ``b`` is the
+uplink bandwidth; the edge server ``S`` carries the total capacity that
+:mod:`repro.mec.admission` divides among users.
+
+The paper assumes homogeneous users ("for the simplicity of discussion,
+we assume b_i = b, p_s = p_s, p_c = p_c"); :class:`DeviceProfile` makes
+that assumption explicit and convenient while per-device overrides remain
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Shared device parameters for a homogeneous user population.
+
+    Defaults are in arbitrary but mutually consistent units: computation
+    weights are "megacycles", capacities "megacycles per second",
+    bandwidth "data units per second", powers "joules per second" and
+    "joules per data unit" respectively.  The paper's key regime —
+    wireless transmission far more expensive per unit than local compute —
+    is reflected in the defaults (``power_transmit >> power_compute``).
+    """
+
+    compute_capacity: float = 100.0
+    """``I_c`` — device computing capacity."""
+
+    power_compute: float = 0.5
+    """``p_c`` — unit power consumption of local computing."""
+
+    power_transmit: float = 6.0
+    """``p_t`` — unit energy consumption of wireless transmission."""
+
+    bandwidth: float = 50.0
+    """``b`` — uplink bandwidth between the user and the server."""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.compute_capacity, "compute_capacity")
+        ensure_positive(self.power_compute, "power_compute")
+        ensure_positive(self.power_transmit, "power_transmit")
+        ensure_positive(self.bandwidth, "bandwidth")
+
+
+@dataclass(frozen=True)
+class MobileDevice:
+    """One user's handset (``u_i`` in the paper)."""
+
+    device_id: str
+    profile: DeviceProfile = DeviceProfile()
+
+    @property
+    def compute_capacity(self) -> float:
+        """``I_c^i`` — available computing capacity of this device."""
+        return self.profile.compute_capacity
+
+    @property
+    def power_compute(self) -> float:
+        """``p_c^i`` — unit power of local computing."""
+        return self.profile.power_compute
+
+    @property
+    def power_transmit(self) -> float:
+        """``p_t^i`` — unit energy of transmission toward the server."""
+        return self.profile.power_transmit
+
+    @property
+    def bandwidth(self) -> float:
+        """``b_i`` — uplink bandwidth."""
+        return self.profile.bandwidth
+
+
+@dataclass(frozen=True)
+class EdgeServer:
+    """The single edge server ``S`` shared by all users.
+
+    ``total_capacity`` is divided among users by an
+    :class:`~repro.mec.admission.AllocationPolicy`; the construction-cost
+    argument of Section III (server resources "always limited") is what
+    makes multi-user offloading a real trade-off rather than
+    offload-everything.
+    """
+
+    total_capacity: float = 2000.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.total_capacity, "total_capacity")

@@ -1,0 +1,103 @@
+"""Energy and time models — formulas (1) through (5) of the paper.
+
+All functions are pure and unit-consistent; :class:`ConsumptionBreakdown`
+bundles one user's complete consumption so the system model and the greedy
+generator can aggregate and compare placements cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+def local_compute_time(local_weight: float, capacity: float) -> float:
+    """Formula (1): ``t_c = sum(w_j, v_j in V_c) / I_c``."""
+    ensure_non_negative(local_weight, "local_weight")
+    ensure_positive(capacity, "capacity")
+    return local_weight / capacity
+
+
+def remote_compute_time(remote_weight: float, allocated_capacity: float, waiting: float) -> float:
+    """Formula (2): ``t_s = sum(w_j, v_j in V_s) / I_s + wt``.
+
+    A user with nothing offloaded spends no server time regardless of
+    allocation, so zero remote weight short-circuits to ``0.0`` (and a
+    zero allocation is then legal).
+    """
+    ensure_non_negative(remote_weight, "remote_weight")
+    ensure_non_negative(waiting, "waiting")
+    if remote_weight == 0.0:
+        return 0.0
+    ensure_positive(allocated_capacity, "allocated_capacity")
+    return remote_weight / allocated_capacity + waiting
+
+
+def local_energy(local_time: float, power_compute: float) -> float:
+    """Formula (3): ``e_c = t_c * p_c``."""
+    ensure_non_negative(local_time, "local_time")
+    ensure_positive(power_compute, "power_compute")
+    return local_time * power_compute
+
+
+def transmission_energy(cut_weight: float, power_transmit: float, bandwidth: float) -> float:
+    """Formula (4): ``e_t = sum s(v_j, v_l) * p_t / b`` over the cut."""
+    ensure_non_negative(cut_weight, "cut_weight")
+    ensure_positive(power_transmit, "power_transmit")
+    ensure_positive(bandwidth, "bandwidth")
+    return cut_weight * power_transmit / bandwidth
+
+
+def transmission_time(cut_weight: float, bandwidth: float) -> float:
+    """Formula (5): ``t_t = sum s(v_j, v_l) / b`` over the cut."""
+    ensure_non_negative(cut_weight, "cut_weight")
+    ensure_positive(bandwidth, "bandwidth")
+    return cut_weight / bandwidth
+
+
+@dataclass(frozen=True)
+class ConsumptionBreakdown:
+    """One user's complete consumption under a given placement."""
+
+    local_energy: float
+    transmission_energy: float
+    local_time: float
+    remote_time: float
+    transmission_time: float
+    waiting_time: float
+
+    @property
+    def energy(self) -> float:
+        """This user's contribution to ``E = Σ e_c + Σ e_t``."""
+        return self.local_energy + self.transmission_energy
+
+    @property
+    def time(self) -> float:
+        """This user's contribution to ``T = Σ t_c + Σ t_s + Σ t_w``.
+
+        ``remote_time`` already includes the waiting term per formula (2);
+        the paper's ``T`` lists ``t_w`` separately, so here ``time`` is
+        ``t_c + t_s`` with ``t_s`` the waiting-inclusive remote time, plus
+        the transmission time the cut imposes on the critical path.
+        """
+        return self.local_time + self.remote_time + self.transmission_time
+
+    def combined(self, energy_weight: float = 1.0, time_weight: float = 1.0) -> float:
+        """Scalarised objective contribution (Algorithm 2's ``E + T``)."""
+        return energy_weight * self.energy + time_weight * self.time
+
+    @staticmethod
+    def zero() -> "ConsumptionBreakdown":
+        """An all-zero breakdown (useful as an accumulator seed)."""
+        return ConsumptionBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def __add__(self, other: "ConsumptionBreakdown") -> "ConsumptionBreakdown":
+        return ConsumptionBreakdown(
+            self.local_energy + other.local_energy,
+            self.transmission_energy + other.transmission_energy,
+            self.local_time + other.local_time,
+            self.remote_time + other.remote_time,
+            self.transmission_time + other.transmission_time,
+            self.waiting_time + other.waiting_time,
+        )

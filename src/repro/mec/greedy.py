@@ -1,0 +1,388 @@
+"""Algorithm 2's greedy offloading scheme generation.
+
+Input: every user's application already partitioned into parts (the two
+sides of each compressed sub-graph's minimum cut).  Algorithm 2 then:
+
+1. inserts all parts into ``V_2`` (the remote candidate set);
+2. moves ``V_2'`` — the parts that clearly belong on the device — into
+   ``V_1`` (the local set).  The paper leaves ``V_2'`` implicit; three
+   readings are implemented (see :func:`initial_placement`), defaulting
+   to the "anchored" one where each bisection's pinned-traffic-heavy side
+   starts local;
+3. while the combined consumption ``E_t + T_t`` keeps decreasing, moves
+   the single part from ``V_2`` to ``V_1`` whose move minimises the
+   resulting ``E + T`` (greedy best-move).
+
+The loop monotonically decreases the objective and each part moves at
+most once, so it terminates after at most ``|parts|`` iterations.
+
+Implementation: the naive loop re-evaluates the whole system per
+candidate (O(moves * parts * users) full evaluations).  Here a
+:class:`PlacementEvaluator` computes each candidate move incrementally —
+only the moved user's energy terms and the server-time aggregate change —
+and a lazy-greedy priority queue (re-validate the top candidate, accept
+if still best) avoids rescanning all parts per move.  ``exhaustive=True``
+forces the textbook full scan; tests assert both give the same scheme on
+small systems.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.mec.admission import MIN_REMOTE_LOAD
+from repro.mec.objective import ObjectiveWeights
+from repro.mec.scheme import OffloadingScheme, PartitionedApplication
+from repro.mec.system import MECSystem, SystemConsumption
+
+_EPS = 1e-12
+
+
+@dataclass
+class GreedyResult:
+    """Final scheme plus the objective trajectory of the greedy loop."""
+
+    scheme: OffloadingScheme
+    consumption: SystemConsumption
+    moves: list[tuple[str, int]] = field(default_factory=list)
+    """Parts moved local, in move order (user id, part id)."""
+
+    history: list[float] = field(default_factory=list)
+    """Combined objective after the initial placement and each move."""
+
+    remote_parts: dict[str, set[int]] = field(default_factory=dict)
+    """Final part-level placement (user id -> remote part ids)."""
+
+
+INITIAL_PLACEMENT_MODES = ("anchored", "dominated", "all-remote")
+
+
+def initial_placement(
+    apps: Mapping[str, PartitionedApplication],
+    bisections: Mapping[str, list[tuple[set[int], set[int]]]],
+    mode: str = "anchored",
+) -> dict[str, set[int]]:
+    """Lines 7-8 of Algorithm 2: everything into ``V_2``, then ``V_2'``
+    moves to ``V_1``.  The paper leaves ``V_2'`` implicit; three readings
+    are provided (*mode*):
+
+    * ``"anchored"`` (default, used by all reproduction experiments) —
+      Section III-B says each sub-graph's cut yields "one part executes
+      locally, and another part executes remotely": per bisection, the
+      side with the heavier traffic toward the user's pinned-local
+      functions starts local (ties: the lighter-computation side), the
+      other side remote.  Un-split components start remote.
+    * ``"dominated"`` — only *communication-dominated* sides (anchor
+      traffic exceeding their computation weight) start local; everything
+      else starts remote.  Reaches more schemes (remote sets only shrink
+      under Algorithm 2's moves) but weakens the link between cut quality
+      and transmission cost.
+    * ``"all-remote"`` — the literal "insert all parts into V_2" with an
+      empty ``V_2'`` (ablation baseline).
+    """
+    if mode not in INITIAL_PLACEMENT_MODES:
+        raise ValueError(
+            f"unknown initial placement mode {mode!r}; expected one of "
+            f"{INITIAL_PLACEMENT_MODES}"
+        )
+    placement: dict[str, set[int]] = {}
+    for user_id, app in apps.items():
+        remote: set[int] = set()
+        anchor = {part.part_id: part.anchor_traffic for part in app.parts}
+        computation = {part.part_id: part.computation for part in app.parts}
+
+        def side_anchor(side: set[int]) -> float:
+            return sum(anchor.get(p, 0.0) for p in side)
+
+        def side_comp(side: set[int]) -> float:
+            return sum(computation.get(p, 0.0) for p in side)
+
+        for side_one, side_two in bisections.get(user_id, []):
+            if mode == "all-remote":
+                remote |= side_one | side_two
+                continue
+            if mode == "dominated":
+                for side in (side_one, side_two):
+                    if side and side_anchor(side) <= side_comp(side):
+                        remote |= side
+                continue
+            # mode == "anchored"
+            if not side_one or not side_two:
+                # Un-split component: Algorithm 2 inserts it into V_2.
+                remote |= side_one | side_two
+                continue
+            anchor_one, anchor_two = side_anchor(side_one), side_anchor(side_two)
+            if anchor_one > anchor_two:
+                remote |= side_two
+            elif anchor_two > anchor_one:
+                remote |= side_one
+            else:
+                # Tie (often no anchors at all): ship the heavier side.
+                if side_comp(side_one) >= side_comp(side_two):
+                    remote |= side_one
+                else:
+                    remote |= side_two
+        placement[user_id] = remote
+    return placement
+
+
+class PlacementEvaluator:
+    """Incremental evaluation of part placements for one MEC system.
+
+    Maintains per-user aggregates (local weight, remote weight, boundary
+    cut) and evaluates "move part p of user u local" in
+    ``O(deg(p) + active users)`` instead of re-walking every graph.
+    """
+
+    def __init__(
+        self,
+        system: MECSystem,
+        apps: Mapping[str, PartitionedApplication],
+        remote: Mapping[str, set[int]],
+        weights: ObjectiveWeights,
+    ) -> None:
+        self.system = system
+        self.apps = apps
+        self.weights = weights
+        self.remote: dict[str, set[int]] = {u: set(p) for u, p in remote.items()}
+
+        # Per-part communication adjacency: part -> [(other part, weight)].
+        self._part_adjacency: dict[str, dict[int, list[tuple[int, float]]]] = {}
+        for user_id, app in apps.items():
+            adjacency: dict[int, list[tuple[int, float]]] = {
+                part.part_id: [] for part in app.parts
+            }
+            for (i, j), weight in app.inter_comm.items():
+                adjacency[i].append((j, weight))
+                adjacency[j].append((i, weight))
+            self._part_adjacency[user_id] = adjacency
+
+        # Per-user aggregates under the current placement.
+        self._local_w: dict[str, float] = {}
+        self._remote_w: dict[str, float] = {}
+        self._cut: dict[str, float] = {}
+        for user_id, app in apps.items():
+            parts_remote = self.remote.get(user_id, set())
+            self._local_w[user_id] = app.local_weight(parts_remote)
+            self._remote_w[user_id] = app.remote_weight(parts_remote)
+            self._cut[user_id] = app.cut_weight(parts_remote)
+
+        self._cached_combined: float | None = None
+        self._cached_server_time: float | None = None
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def _device_terms(self, user_id: str, local_w: float, cut: float) -> tuple[float, float]:
+        """(energy, device-side time) for one user's local work and cut."""
+        device = self.system.user(user_id).device
+        t_c = local_w / device.compute_capacity
+        e_c = t_c * device.power_compute
+        e_t = cut * device.power_transmit / device.bandwidth
+        t_t = cut / device.bandwidth
+        return e_c + e_t, t_c + t_t
+
+    def _server_time_total(self, loads: Mapping[str, float]) -> float:
+        """Sum over users of formula (2)'s remote time, incl. waiting."""
+        allocation = self.system.allocation.allocate(self.system.server, loads)
+        total = 0.0
+        for user_id, load in loads.items():
+            if load <= MIN_REMOTE_LOAD:
+                # Matches the allocation policies' idle floor: subtraction
+                # residue from incremental updates must not count as load.
+                continue
+            capacity = allocation.capacity_for(user_id)
+            total += load / capacity + allocation.waiting_for(user_id)
+        return total
+
+    def combined(self) -> float:
+        """Scalarised objective of the current placement (cached)."""
+        if self._cached_combined is not None:
+            return self._cached_combined
+        value = 0.0
+        for user_id in self.apps:
+            energy, device_time = self._device_terms(
+                user_id, self._local_w[user_id], self._cut[user_id]
+            )
+            value += self.weights.energy * energy + self.weights.time * device_time
+        # e_c and e_t enter E while t_c and t_t enter T; server time (t_s,
+        # waiting included) enters T only.
+        value += self.weights.time * self._current_server_time()
+        self._cached_combined = value
+        return value
+
+    def _current_server_time(self) -> float:
+        if self._cached_server_time is None:
+            self._cached_server_time = self._server_time_total(self._remote_w)
+        return self._cached_server_time
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def _move_deltas(self, user_id: str, part_id: int) -> tuple[float, float, float]:
+        """(new_local_w, new_remote_w, new_cut) for user after moving part local."""
+        app = self.apps[user_id]
+        part = app.parts[part_id]
+        parts_remote = self.remote[user_id]
+        cut = self._cut[user_id]
+        # Edge flips: edges to still-remote parts start crossing; edges to
+        # local parts stop crossing; anchor traffic stops crossing.
+        delta_cut = -part.anchor_traffic
+        for other, weight in self._part_adjacency[user_id][part_id]:
+            if other in parts_remote and other != part_id:
+                delta_cut += weight
+            else:
+                delta_cut -= weight
+        return (
+            self._local_w[user_id] + part.computation,
+            self._remote_w[user_id] - part.computation,
+            cut + delta_cut,
+        )
+
+    def evaluate_move(self, user_id: str, part_id: int) -> float:
+        """Objective value if (user, part) moved local; state unchanged."""
+        if part_id not in self.remote.get(user_id, set()):
+            raise ValueError(f"part {part_id} of {user_id!r} is not remote")
+        new_local, new_remote, new_cut = self._move_deltas(user_id, part_id)
+
+        old_energy, old_time = self._device_terms(
+            user_id, self._local_w[user_id], self._cut[user_id]
+        )
+        new_energy, new_time = self._device_terms(user_id, new_local, new_cut)
+        delta_device = self.weights.energy * (new_energy - old_energy) + self.weights.time * (
+            new_time - old_time
+        )
+
+        loads = dict(self._remote_w)
+        loads[user_id] = new_remote
+        delta_server = self._server_time_total(loads) - self._current_server_time()
+        return self.combined() + delta_device + self.weights.time * delta_server
+
+    def apply_move(self, user_id: str, part_id: int) -> None:
+        """Commit the move of (user, part) to local."""
+        new_local, new_remote, new_cut = self._move_deltas(user_id, part_id)
+        self.remote[user_id].discard(part_id)
+        self._local_w[user_id] = new_local
+        self._remote_w[user_id] = new_remote
+        self._cut[user_id] = new_cut
+        self._cached_combined = None
+        self._cached_server_time = None
+
+    def candidates(self) -> list[tuple[str, int]]:
+        """All currently-remote (user, part) pairs, in deterministic order."""
+        return [
+            (user_id, part_id)
+            for user_id in sorted(self.remote)
+            for part_id in sorted(self.remote[user_id])
+        ]
+
+
+def generate_offloading_scheme(
+    system: MECSystem,
+    apps: Mapping[str, PartitionedApplication],
+    bisections: Mapping[str, list[tuple[set[int], set[int]]]],
+    weights: ObjectiveWeights | None = None,
+    exhaustive: bool = False,
+    placement_mode: str = "anchored",
+    frozen_remote: Mapping[str, set[int]] | None = None,
+) -> GreedyResult:
+    """Run Algorithm 2 and return the generated scheme.
+
+    *weights* scalarises the double objective (defaults to Algorithm 2's
+    unweighted sum); *placement_mode* selects the ``V_2'`` reading (see
+    :func:`initial_placement`).  *frozen_remote* pins users to existing
+    placements (online admission): a frozen user's remote set is taken
+    verbatim and none of their parts become candidate moves — they only
+    contribute load.  With ``exhaustive=True`` every iteration rescans all
+    candidates (the literal Algorithm 2 loop); the default lazy-greedy
+    keeps candidates in a priority queue keyed by their last-known
+    improvement and re-validates the top entry before accepting — orders
+    of magnitude faster on multi-user systems and, because move benefits
+    only shrink as the placement drains, virtually always identical.
+    """
+    weights = weights or ObjectiveWeights()
+    frozen = {uid: set(parts) for uid, parts in (frozen_remote or {}).items()}
+    remote = initial_placement(apps, bisections, mode=placement_mode)
+    for user_id, parts in frozen.items():
+        if user_id in apps:
+            remote[user_id] = set(parts)
+    evaluator = PlacementEvaluator(system, apps, remote, weights)
+
+    def movable(user_id: str, part_id: int) -> bool:
+        return user_id not in frozen
+
+    best_value = evaluator.combined()
+    history = [best_value]
+    moves: list[tuple[str, int]] = []
+
+    if exhaustive:
+        while True:
+            best_candidate: tuple[str, int] | None = None
+            best_candidate_value = best_value
+            for user_id, part_id in evaluator.candidates():
+                if not movable(user_id, part_id):
+                    continue
+                value = evaluator.evaluate_move(user_id, part_id)
+                if value < best_candidate_value - _EPS:
+                    best_candidate = (user_id, part_id)
+                    best_candidate_value = value
+            if best_candidate is None:
+                break
+            evaluator.apply_move(*best_candidate)
+            best_value = best_candidate_value
+            history.append(best_value)
+            moves.append(best_candidate)
+    else:
+        # Lazy greedy: heap of (last-known objective-after-move, candidate).
+        heap: list[tuple[float, str, int]] = []
+        for user_id, part_id in evaluator.candidates():
+            if not movable(user_id, part_id):
+                continue
+            value = evaluator.evaluate_move(user_id, part_id)
+            heapq.heappush(heap, (value, user_id, part_id))
+        while heap:
+            value, user_id, part_id = heapq.heappop(heap)
+            if part_id not in evaluator.remote.get(user_id, set()):
+                continue
+            current = evaluator.evaluate_move(user_id, part_id)
+            if current > value + _EPS:
+                # Stale entry: the move got worse since it was queued.
+                # Requeue with the fresh value unless it can no longer
+                # improve at all.  Each requeue strictly increases the
+                # stored key, so the loop terminates.
+                if current < best_value - _EPS:
+                    heapq.heappush(heap, (current, user_id, part_id))
+                continue
+            # Fresh value is at least as good as its stored key, which was
+            # the heap minimum — accept it if it improves, otherwise no
+            # remaining candidate improves (move benefits only shrink as
+            # the placement drains) and the loop is done.
+            if current >= best_value - _EPS:
+                break
+            evaluator.apply_move(user_id, part_id)
+            best_value = current
+            history.append(best_value)
+            moves.append((user_id, part_id))
+
+    final_remote = evaluator.remote
+    consumption = system.evaluate_placement(apps, final_remote)
+    scheme = OffloadingScheme(
+        remote_functions={
+            user_id: {
+                function
+                for part in apps[user_id].parts
+                if part.part_id in parts
+                for function in part.functions
+            }
+            for user_id, parts in final_remote.items()
+        }
+    )
+    return GreedyResult(
+        scheme=scheme,
+        consumption=consumption,
+        moves=moves,
+        history=history,
+        remote_parts=final_remote,
+    )

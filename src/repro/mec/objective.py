@@ -1,0 +1,31 @@
+"""The double objective (formula (6)) and its scalarisation.
+
+The paper states ``min(E), min(T)`` and Algorithm 2 optimises their sum
+(the loop condition compares ``E_t + T_t`` against the previous round).
+``ObjectiveWeights`` generalises that to a weighted sum so ablations can
+trade the two goals explicitly; the default (1, 1) is Algorithm 2's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Weights for the scalarised objective ``w_E * E + w_T * T``."""
+
+    energy: float = 1.0
+    time: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.energy, "energy weight")
+        ensure_non_negative(self.time, "time weight")
+        if self.energy == 0.0 and self.time == 0.0:
+            raise ValueError("at least one objective weight must be positive")
+
+    def combine(self, energy: float, time: float) -> float:
+        """Scalarise an (E, T) pair."""
+        return self.energy * energy + self.time * time

@@ -1,0 +1,105 @@
+"""Pareto exploration of the double objective (formula (6) taken seriously).
+
+The paper scalarises ``min(E), min(T)`` into ``E + T`` (Algorithm 2's
+loop condition).  The scalarisation weight is a policy choice, and every
+choice lands somewhere on the energy/time trade-off curve.  This module
+sweeps the weight ratio, plans once per point, and returns the
+non-dominated frontier — how an operator would actually pick the
+operating point for a deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.objective import ObjectiveWeights
+from repro.mec.system import MECSystem
+
+if TYPE_CHECKING:  # pragma: no cover - repro.core imports repro.mec
+    from repro.core.config import PlannerConfig
+    from repro.core.results import CutStrategy
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One (energy, time) operating point and the weight that found it."""
+
+    energy: float
+    time: float
+    energy_weight: float
+    time_weight: float
+    offloaded_functions: int
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on both axes, strictly on at least one."""
+        if self.energy > other.energy + 1e-12 or self.time > other.time + 1e-12:
+            return False
+        return self.energy < other.energy - 1e-12 or self.time < other.time - 1e-12
+
+
+DEFAULT_RATIOS: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0, float("inf"))
+"""Energy/time weight ratios swept by default.  0 = time-only,
+``inf`` = energy-only, 1.0 = Algorithm 2's unweighted sum."""
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Filter *points* down to the non-dominated set, sorted by energy."""
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    # Distinct operating points only (several weights often coincide).
+    unique: list[ParetoPoint] = []
+    for point in sorted(frontier, key=lambda p: (p.energy, p.time)):
+        if unique and abs(unique[-1].energy - point.energy) < 1e-12 and abs(
+            unique[-1].time - point.time
+        ) < 1e-12:
+            continue
+        unique.append(point)
+    return unique
+
+
+def explore_tradeoff(
+    system: MECSystem,
+    call_graphs: Mapping[str, FunctionCallGraph],
+    cut_strategy: "CutStrategy",
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    base_config: "PlannerConfig | None" = None,
+) -> list[ParetoPoint]:
+    """Plan the system once per weight ratio; returns all sampled points.
+
+    *ratios* are energy/time weight ratios; 0 maps to ``(0, 1)`` and
+    ``inf`` to ``(1, 0)``.  Feed the result to :func:`pareto_front` for
+    the frontier.
+    """
+    # Local imports: repro.core depends on repro.mec, not vice versa.
+    from repro.core.config import PlannerConfig
+    from repro.core.planner import OffloadingPlanner
+
+    base_config = base_config or PlannerConfig()
+    points: list[ParetoPoint] = []
+    for ratio in ratios:
+        if ratio == 0.0:
+            weights = ObjectiveWeights(energy=0.0, time=1.0)
+        elif ratio == float("inf"):
+            weights = ObjectiveWeights(energy=1.0, time=0.0)
+        else:
+            if ratio < 0:
+                raise ValueError(f"ratios must be >= 0, got {ratio}")
+            weights = ObjectiveWeights(energy=ratio, time=1.0)
+        config = replace(base_config, objective=weights)
+        planner = OffloadingPlanner(cut_strategy, config=config, strategy_name="pareto")
+        result = planner.plan_system(system, call_graphs)
+        points.append(
+            ParetoPoint(
+                energy=result.consumption.energy,
+                time=result.consumption.time,
+                energy_weight=weights.energy,
+                time_weight=weights.time,
+                offloaded_functions=result.scheme.total_offloaded,
+            )
+        )
+    return points

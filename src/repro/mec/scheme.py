@@ -1,0 +1,152 @@
+"""Offloading schemes and the part-level view Algorithm 2 operates on.
+
+After compression and per-sub-graph cutting, each user's application is a
+collection of *parts* — groups of functions that will be placed on the
+same side as a unit.  :class:`PartitionedApplication` precomputes every
+quantity the greedy loop needs (part computation weights, part-to-part
+communication, traffic to pinned-local functions) so that evaluating a
+candidate placement costs O(parts^2) arithmetic rather than graph scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.callgraph.model import FunctionCallGraph
+
+
+@dataclass(frozen=True)
+class SchemePart:
+    """One indivisible placement unit for one user."""
+
+    user_id: str
+    part_id: int
+    functions: frozenset[str]
+    computation: float
+    anchor_traffic: float
+    """Communication between this part and the user's pinned-local
+    functions; charged over the wireless link whenever the part is
+    remote."""
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Globally unique (user, part) identifier."""
+        return (self.user_id, self.part_id)
+
+
+class PartitionedApplication:
+    """One user's application, sliced into placement parts.
+
+    ``inter_comm[(i, j)]`` (with ``i < j``) is the communication weight
+    between parts ``i`` and ``j``; it crosses the wireless link exactly
+    when the two parts sit on different sides.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        call_graph: FunctionCallGraph,
+        part_sets: Iterable[Iterable[str]],
+    ) -> None:
+        self.user_id = user_id
+        self.call_graph = call_graph
+        graph = call_graph.graph
+
+        cleaned = [frozenset(part) for part in part_sets if part]
+        covered: set[str] = set()
+        for part in cleaned:
+            overlap = covered & part
+            if overlap:
+                raise ValueError(f"parts overlap on functions {sorted(overlap)!r}")
+            covered |= part
+        offloadable = set(call_graph.offloadable_functions())
+        missing = offloadable - covered
+        if missing:
+            raise ValueError(f"offloadable functions not covered by parts: {sorted(missing)!r}")
+        extraneous = covered - offloadable
+        if extraneous:
+            raise ValueError(
+                f"parts contain unoffloadable functions: {sorted(extraneous)!r}"
+            )
+
+        self.parts: list[SchemePart] = []
+        membership: dict[str, int] = {}
+        for index, functions in enumerate(cleaned):
+            computation = sum(graph.node_weight(f) for f in functions)
+            anchor = call_graph.local_anchor_traffic(functions)
+            self.parts.append(
+                SchemePart(
+                    user_id=user_id,
+                    part_id=index,
+                    functions=functions,
+                    computation=computation,
+                    anchor_traffic=anchor,
+                )
+            )
+            for function in functions:
+                membership[function] = index
+
+        self.inter_comm: dict[tuple[int, int], float] = {}
+        for u, v, weight in graph.edges():
+            pu = membership.get(u)
+            pv = membership.get(v)
+            if pu is None or pv is None or pu == pv:
+                continue
+            key = (min(pu, pv), max(pu, pv))
+            self.inter_comm[key] = self.inter_comm.get(key, 0.0) + weight
+
+        self.pinned_computation = sum(
+            graph.node_weight(f) for f in call_graph.unoffloadable_functions()
+        )
+
+    @property
+    def part_count(self) -> int:
+        """Number of placement parts."""
+        return len(self.parts)
+
+    def remote_weight(self, remote_parts: set[int]) -> float:
+        """Total computation weight of the remote-placed parts."""
+        return sum(p.computation for p in self.parts if p.part_id in remote_parts)
+
+    def local_weight(self, remote_parts: set[int]) -> float:
+        """Total local computation: pinned functions + local parts."""
+        local_parts = sum(
+            p.computation for p in self.parts if p.part_id not in remote_parts
+        )
+        return self.pinned_computation + local_parts
+
+    def cut_weight(self, remote_parts: set[int]) -> float:
+        """Communication crossing the device/server boundary.
+
+        Counts (a) inter-part edges whose endpoints sit on different
+        sides and (b) remote parts' traffic to pinned-local functions.
+        """
+        total = 0.0
+        for (i, j), weight in self.inter_comm.items():
+            if (i in remote_parts) != (j in remote_parts):
+                total += weight
+        for part in self.parts:
+            if part.part_id in remote_parts:
+                total += part.anchor_traffic
+        return total
+
+
+@dataclass
+class OffloadingScheme:
+    """The final decision: which functions each user offloads."""
+
+    remote_functions: dict[str, set[str]] = field(default_factory=dict)
+
+    def remote_for(self, user_id: str) -> set[str]:
+        """Functions user *user_id* executes on the edge server."""
+        return self.remote_functions.get(user_id, set())
+
+    def offload_count(self, user_id: str) -> int:
+        """Number of functions user *user_id* offloads."""
+        return len(self.remote_for(user_id))
+
+    @property
+    def total_offloaded(self) -> int:
+        """Total offloaded functions across users."""
+        return sum(len(functions) for functions in self.remote_functions.values())

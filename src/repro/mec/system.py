@@ -1,0 +1,177 @@
+"""The multi-user MEC system and its consumption evaluation.
+
+``MECSystem`` binds users (device + application) to the shared edge
+server and evaluates any placement — a mapping from user to the set of
+parts placed remotely — into the paper's ``E`` and ``T`` totals through
+formulas (1)-(5) and the server allocation policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.admission import AllocationPolicy, FCFSQueueAllocation
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.energy import (
+    ConsumptionBreakdown,
+    local_compute_time,
+    local_energy,
+    remote_compute_time,
+    transmission_energy,
+    transmission_time,
+)
+from repro.mec.objective import ObjectiveWeights
+from repro.mec.scheme import OffloadingScheme, PartitionedApplication
+
+
+@dataclass(frozen=True)
+class UserContext:
+    """One user: their device and their application's call graph."""
+
+    device: MobileDevice
+    call_graph: FunctionCallGraph
+
+    @property
+    def user_id(self) -> str:
+        """The device id doubles as the user id."""
+        return self.device.device_id
+
+
+@dataclass
+class SystemConsumption:
+    """System-wide totals plus the per-user breakdown."""
+
+    per_user: dict[str, ConsumptionBreakdown] = field(default_factory=dict)
+
+    @property
+    def energy(self) -> float:
+        """``E = Σ_i e_c^i + Σ_i e_t^i`` (formula (6))."""
+        return sum(b.energy for b in self.per_user.values())
+
+    @property
+    def local_energy(self) -> float:
+        """``Σ_i e_c^i`` — the quantity plotted in Figs. 3 and 6."""
+        return sum(b.local_energy for b in self.per_user.values())
+
+    @property
+    def transmission_energy(self) -> float:
+        """``Σ_i e_t^i`` — the quantity plotted in Figs. 4 and 7."""
+        return sum(b.transmission_energy for b in self.per_user.values())
+
+    @property
+    def time(self) -> float:
+        """``T = Σ_i t_c^i + Σ_i t_s^i + Σ_i t_w^i``."""
+        return sum(b.time for b in self.per_user.values())
+
+    def combined(self, weights: ObjectiveWeights | None = None) -> float:
+        """Scalarised objective (Algorithm 2's ``E + T`` by default)."""
+        weights = weights or ObjectiveWeights()
+        return weights.combine(self.energy, self.time)
+
+
+class MECSystem:
+    """The shared-server multi-user system of Section II."""
+
+    def __init__(
+        self,
+        server: EdgeServer,
+        users: list[UserContext],
+        allocation: AllocationPolicy | None = None,
+    ) -> None:
+        if not users:
+            raise ValueError("an MEC system needs at least one user")
+        ids = [user.user_id for user in users]
+        if len(set(ids)) != len(ids):
+            raise ValueError("user ids must be unique")
+        self.server = server
+        self.users = list(users)
+        self.allocation = allocation or FCFSQueueAllocation()
+        self._by_id = {user.user_id: user for user in self.users}
+
+    def user(self, user_id: str) -> UserContext:
+        """Return the user with the given id."""
+        if user_id not in self._by_id:
+            raise KeyError(f"unknown user {user_id!r}")
+        return self._by_id[user_id]
+
+    # ------------------------------------------------------------------
+    # Placement evaluation
+    # ------------------------------------------------------------------
+    def evaluate_placement(
+        self,
+        apps: Mapping[str, PartitionedApplication],
+        remote_parts: Mapping[str, set[int]],
+    ) -> SystemConsumption:
+        """Evaluate a part-level placement into system consumption.
+
+        *apps* maps user id to the partitioned application; *remote_parts*
+        maps user id to the part ids placed on the server.  Users absent
+        from *remote_parts* run fully locally.
+        """
+        remote_loads = {
+            user.user_id: apps[user.user_id].remote_weight(
+                remote_parts.get(user.user_id, set())
+            )
+            for user in self.users
+            if user.user_id in apps
+        }
+        allocation = self.allocation.allocate(self.server, remote_loads)
+
+        consumption = SystemConsumption()
+        for user in self.users:
+            app = apps.get(user.user_id)
+            if app is None:
+                continue
+            parts_remote = remote_parts.get(user.user_id, set())
+            consumption.per_user[user.user_id] = self._evaluate_user(
+                user, app, parts_remote, allocation.capacity_for(user.user_id),
+                allocation.waiting_for(user.user_id),
+            )
+        return consumption
+
+    def evaluate_scheme(
+        self,
+        apps: Mapping[str, PartitionedApplication],
+        scheme: OffloadingScheme,
+    ) -> SystemConsumption:
+        """Evaluate a function-level scheme (convenience over placements)."""
+        remote_parts: dict[str, set[int]] = {}
+        for user_id, app in apps.items():
+            remote = scheme.remote_for(user_id)
+            parts = {
+                part.part_id
+                for part in app.parts
+                if part.functions and part.functions <= remote
+            }
+            remote_parts[user_id] = parts
+        return self.evaluate_placement(apps, remote_parts)
+
+    def _evaluate_user(
+        self,
+        user: UserContext,
+        app: PartitionedApplication,
+        parts_remote: set[int],
+        allocated_capacity: float,
+        waiting: float,
+    ) -> ConsumptionBreakdown:
+        device = user.device
+        local_weight = app.local_weight(parts_remote)
+        remote_weight = app.remote_weight(parts_remote)
+        cut = app.cut_weight(parts_remote)
+
+        t_c = local_compute_time(local_weight, device.compute_capacity)
+        t_s = remote_compute_time(remote_weight, allocated_capacity or 1.0, waiting)
+        t_t = transmission_time(cut, device.bandwidth) if cut > 0 else 0.0
+        e_c = local_energy(t_c, device.power_compute)
+        e_t = transmission_energy(cut, device.power_transmit, device.bandwidth) if cut > 0 else 0.0
+
+        return ConsumptionBreakdown(
+            local_energy=e_c,
+            transmission_energy=e_t,
+            local_time=t_c,
+            remote_time=t_s,
+            transmission_time=t_t,
+            waiting_time=waiting if remote_weight > 0 else 0.0,
+        )

@@ -1,0 +1,78 @@
+"""Offloading-scheme validation: is a scheme executable at all?
+
+Planners guarantee feasibility by construction, but schemes also arrive
+from outside — a trace file, a hand-written experiment, another tool.
+``validate_scheme`` checks every executable-feasibility rule and returns
+the full list of violations (not just the first), so callers can report
+everything wrong at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.scheme import OffloadingScheme
+from repro.mec.system import MECSystem
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of a scheme validation."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scheme passed every check."""
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` listing all violations (no-op when ok)."""
+        if self.violations:
+            summary = "; ".join(self.violations)
+            raise ValueError(f"invalid offloading scheme: {summary}")
+
+
+def validate_scheme(
+    system: MECSystem,
+    call_graphs: Mapping[str, FunctionCallGraph],
+    scheme: OffloadingScheme,
+) -> ValidationResult:
+    """Check *scheme* against *system* and *call_graphs*.
+
+    Rules:
+
+    * every user in the scheme exists in the system;
+    * every user in the system has a call graph;
+    * every offloaded function exists in that user's application;
+    * no unoffloadable (pinned) function is offloaded.
+    """
+    result = ValidationResult()
+    system_users = {user.user_id for user in system.users}
+
+    for user_id in scheme.remote_functions:
+        if user_id not in system_users:
+            result.violations.append(f"scheme references unknown user {user_id!r}")
+
+    for user_id in system_users:
+        if user_id not in call_graphs:
+            result.violations.append(f"user {user_id!r} has no call graph")
+
+    for user_id, remote in scheme.remote_functions.items():
+        call_graph = call_graphs.get(user_id)
+        if call_graph is None:
+            continue
+        known = set(call_graph.functions())
+        pinned = set(call_graph.unoffloadable_functions())
+        for function in sorted(remote):
+            if function not in known:
+                result.violations.append(
+                    f"user {user_id!r} offloads unknown function {function!r}"
+                )
+            elif function in pinned:
+                result.violations.append(
+                    f"user {user_id!r} offloads pinned function {function!r}"
+                )
+    return result

@@ -1,0 +1,108 @@
+"""Dinic's maximum-flow algorithm (ablation comparator).
+
+Strictly faster than Edmonds-Karp on the dense compressed graphs the
+pipeline produces (O(V^2 E) vs O(V E^2)); the ablation bench
+``bench_ablation_cut_algorithms`` measures whether the difference matters
+at COPMECS scales.  Level graphs are rebuilt by BFS; blocking flows are
+found by DFS with the standard current-arc optimisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mincut.edmonds_karp import MaxFlowResult
+from repro.mincut.residual import ResidualNetwork
+
+NodeId = Hashable
+
+_EPS = 1e-12
+
+
+def dinic_max_flow(graph: WeightedGraph, source: NodeId, sink: NodeId) -> MaxFlowResult:
+    """Compute the max flow / min cut between *source* and *sink* via Dinic.
+
+    Returns the same :class:`MaxFlowResult` as
+    :func:`~repro.mincut.edmonds_karp.edmonds_karp`; the ``augmentations``
+    field counts blocking-flow phases instead of single paths.
+    """
+    if not graph.has_node(source):
+        raise KeyError(f"source {source!r} does not exist")
+    if not graph.has_node(sink):
+        raise KeyError(f"sink {sink!r} does not exist")
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    network = ResidualNetwork(graph)
+    total_flow = 0.0
+    phases = 0
+
+    while True:
+        levels = _build_levels(network, source, sink)
+        if levels is None:
+            break
+        phases += 1
+        # Current-arc pointers: skip arcs already saturated this phase.
+        iterators = {node: list(network.neighbors(node)) for node in network.nodes()}
+        pointers = {node: 0 for node in network.nodes()}
+        while True:
+            pushed = _dfs_blocking(
+                network, source, sink, float("inf"), levels, iterators, pointers
+            )
+            if pushed <= _EPS:
+                break
+            total_flow += pushed
+
+    source_side = network.reachable_from(source)
+    sink_side = set(graph.nodes()) - source_side
+    return MaxFlowResult(
+        value=total_flow,
+        source_side=source_side,
+        sink_side=sink_side,
+        augmentations=phases,
+        residual=network,
+    )
+
+
+def _build_levels(
+    network: ResidualNetwork, source: NodeId, sink: NodeId
+) -> dict[NodeId, int] | None:
+    """BFS level assignment; ``None`` when the sink is unreachable."""
+    levels = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, capacity in network.neighbors(node):
+            if capacity > _EPS and neighbor not in levels:
+                levels[neighbor] = levels[node] + 1
+                queue.append(neighbor)
+    return levels if sink in levels else None
+
+
+def _dfs_blocking(
+    network: ResidualNetwork,
+    node: NodeId,
+    sink: NodeId,
+    limit: float,
+    levels: dict[NodeId, int],
+    iterators: dict[NodeId, list[tuple[NodeId, float]]],
+    pointers: dict[NodeId, int],
+) -> float:
+    """Push one augmenting unit of blocking flow; returns the amount."""
+    if node == sink:
+        return limit
+    arcs = iterators[node]
+    while pointers[node] < len(arcs):
+        neighbor, _ = arcs[pointers[node]]
+        capacity = network.residual(node, neighbor)
+        if capacity > _EPS and levels.get(neighbor, -1) == levels[node] + 1:
+            pushed = _dfs_blocking(
+                network, neighbor, sink, min(limit, capacity), levels, iterators, pointers
+            )
+            if pushed > _EPS:
+                network.push(node, neighbor, pushed)
+                return pushed
+        pointers[node] += 1
+    return 0.0

@@ -1,0 +1,129 @@
+"""Gomory-Hu trees: all-pairs minimum cuts from n-1 max-flow calls.
+
+The max-flow baseline's weak spot is endpoint selection (see
+:mod:`repro.mincut.st_selection`).  A Gomory-Hu tree answers the question
+"how bad can the heuristic be?" exactly: it encodes the minimum s-t cut
+for *every* node pair — the minimum edge weight on the tree path between
+them — after only ``n - 1`` max-flow computations (Gusfield's simplified
+construction, which needs no graph contractions).
+
+Used by the ablation tests to certify that the global minimum cut,
+Stoer-Wagner's answer, and the lightest Gomory-Hu edge all agree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mincut.edmonds_karp import edmonds_karp
+
+NodeId = Hashable
+
+
+@dataclass
+class GomoryHuTree:
+    """The equivalent-flow tree of a connected weighted graph."""
+
+    parent: dict[NodeId, NodeId | None]
+    flow_to_parent: dict[NodeId, float]
+    root: NodeId
+
+    def edges(self) -> list[tuple[NodeId, NodeId, float]]:
+        """Tree edges as ``(child, parent, min-cut value)``."""
+        return [
+            (child, parent, self.flow_to_parent[child])
+            for child, parent in self.parent.items()
+            if parent is not None
+        ]
+
+    def min_cut_value(self, u: NodeId, v: NodeId) -> float:
+        """Minimum s-t cut between *u* and *v*: the lightest edge on the
+        unique tree path connecting them."""
+        if u == v:
+            raise ValueError("min cut needs two distinct nodes")
+        ancestors_u = self._path_to_root(u)
+        depth_u = {node: i for i, node in enumerate(ancestors_u)}
+        # Walk v upward until the paths meet.
+        lightest = float("inf")
+        node = v
+        while node not in depth_u:
+            lightest = min(lightest, self.flow_to_parent[node])
+            parent = self.parent[node]
+            assert parent is not None, "walk escaped the tree"
+            node = parent
+        meeting = node
+        for ancestor in ancestors_u[: depth_u[meeting]]:
+            lightest = min(lightest, self.flow_to_parent[ancestor])
+        return lightest
+
+    def global_min_cut(self) -> tuple[float, NodeId]:
+        """Lightest tree edge = the global minimum cut of the graph."""
+        best_child: NodeId | None = None
+        best = float("inf")
+        for child, parent in self.parent.items():
+            if parent is None:
+                continue
+            if self.flow_to_parent[child] < best:
+                best = self.flow_to_parent[child]
+                best_child = child
+        if best_child is None:
+            raise ValueError("tree has no edges (single-node graph)")
+        return best, best_child
+
+    def side_of(self, child: NodeId) -> set[NodeId]:
+        """Nodes on *child*'s side when its parent edge is removed."""
+        children: dict[NodeId, list[NodeId]] = {}
+        for node, parent in self.parent.items():
+            if parent is not None:
+                children.setdefault(parent, []).append(node)
+        side = {child}
+        queue = deque([child])
+        while queue:
+            node = queue.popleft()
+            for grandchild in children.get(node, []):
+                side.add(grandchild)
+                queue.append(grandchild)
+        return side
+
+    def _path_to_root(self, node: NodeId) -> list[NodeId]:
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        return path
+
+
+def gomory_hu_tree(graph: WeightedGraph) -> GomoryHuTree:
+    """Build the Gomory-Hu tree via Gusfield's algorithm.
+
+    Requires a connected graph with at least one node.  Exactly
+    ``n - 1`` Edmonds-Karp computations are performed.
+    """
+    nodes = graph.node_list()
+    if not nodes:
+        raise ValueError("cannot build a Gomory-Hu tree of an empty graph")
+    root = nodes[0]
+    parent: dict[NodeId, NodeId | None] = {node: root for node in nodes}
+    parent[root] = None
+    flow_to_parent: dict[NodeId, float] = {}
+
+    for node in nodes[1:]:
+        target = parent[node]
+        assert target is not None
+        result = edmonds_karp(graph, node, target)
+        flow_to_parent[node] = result.value
+        # Gusfield re-hanging rule: siblings on `node`'s side of the cut
+        # re-attach under `node`.
+        for other in nodes[1:]:
+            if other != node and parent[other] == target and other in result.source_side:
+                parent[other] = node
+        # If the grandparent is on node's side, swap positions with target.
+        grandparent = parent[target]
+        if grandparent is not None and grandparent in result.source_side:
+            parent[node] = grandparent
+            parent[target] = node
+            flow_to_parent[node] = flow_to_parent.get(target, result.value)
+            flow_to_parent[target] = result.value
+    return GomoryHuTree(parent=parent, flow_to_parent=flow_to_parent, root=root)

@@ -1,0 +1,86 @@
+"""Residual flow network over an undirected weighted graph.
+
+An undirected edge of capacity ``c`` becomes a pair of directed arcs with
+capacity ``c`` each (the standard reduction for undirected max-flow).
+Flow pushed along ``u -> v`` raises the residual capacity of ``v -> u``,
+so augmenting algorithms can cancel earlier flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterator
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+NodeId = Hashable
+
+
+class ResidualNetwork:
+    """Mutable residual capacities for max-flow computations."""
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self._capacity: dict[NodeId, dict[NodeId, float]] = {
+            node: {} for node in graph.nodes()
+        }
+        for u, v, w in graph.edges():
+            self._capacity[u][v] = self._capacity[u].get(v, 0.0) + w
+            self._capacity[v][u] = self._capacity[v].get(u, 0.0) + w
+        self._original = {
+            u: dict(neighbors) for u, neighbors in self._capacity.items()
+        }
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over network nodes."""
+        return iter(self._capacity)
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether *node* exists in the network."""
+        return node in self._capacity
+
+    def residual(self, u: NodeId, v: NodeId) -> float:
+        """Remaining capacity on arc ``u -> v`` (0 if absent)."""
+        return self._capacity.get(u, {}).get(v, 0.0)
+
+    def neighbors(self, node: NodeId) -> Iterator[tuple[NodeId, float]]:
+        """Iterate over ``(neighbor, residual capacity)`` pairs."""
+        return iter(self._capacity[node].items())
+
+    def push(self, u: NodeId, v: NodeId, amount: float) -> None:
+        """Send *amount* of flow along ``u -> v``.
+
+        Decreases the forward residual, increases the reverse residual.
+        Over-pushing (amount beyond the residual) is rejected.
+        """
+        if amount <= 0:
+            raise ValueError(f"flow amount must be > 0, got {amount!r}")
+        available = self.residual(u, v)
+        if amount > available + 1e-9:
+            raise ValueError(
+                f"cannot push {amount!r} along ({u!r}, {v!r}); residual is {available!r}"
+            )
+        self._capacity[u][v] = available - amount
+        self._capacity[v][u] = self.residual(v, u) + amount
+
+    def reachable_from(self, source: NodeId, epsilon: float = 1e-12) -> set[NodeId]:
+        """Nodes reachable from *source* through positive-residual arcs.
+
+        After a max-flow terminates, this is the source side of a minimum
+        cut (the max-flow/min-cut constructive proof).
+        """
+        if source not in self._capacity:
+            raise KeyError(f"node {source!r} does not exist")
+        seen = {source}
+        queue: deque[NodeId] = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor, capacity in self._capacity[node].items():
+                if capacity > epsilon and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen
+
+    def flow_on(self, u: NodeId, v: NodeId) -> float:
+        """Net flow currently assigned to arc ``u -> v`` (>= 0)."""
+        original = self._original.get(u, {}).get(v, 0.0)
+        return max(0.0, original - self.residual(u, v))

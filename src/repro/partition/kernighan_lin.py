@@ -1,0 +1,177 @@
+"""Kernighan-Lin two-way graph partitioning, from scratch.
+
+The algorithm alternates *passes*; each pass tentatively swaps every node
+pair exactly once (greedily, highest gain first, swapped nodes locked) and
+then rolls back to the prefix of swaps with the best cumulative gain.
+Passes repeat until a pass yields no positive gain.
+
+Pair selection uses the standard near-optimal simplification: take the
+unlocked node with the best D-value on each side and evaluate the pair
+gain ``g = D_a + D_b - 2 w(a, b)`` over the top few candidates per side,
+which keeps a pass at O(n^2) instead of O(n^3) while matching exact pair
+selection on all but adversarial inputs.  Determinism: every scan breaks
+ties by node insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.utils.rng import RandomSource
+
+NodeId = Hashable
+
+_CANDIDATES_PER_SIDE = 8
+
+
+@dataclass
+class KLResult:
+    """Outcome of a Kernighan-Lin bisection."""
+
+    part_one: set[NodeId]
+    part_two: set[NodeId]
+    cut_value: float
+    passes: int
+
+
+def kernighan_lin_bisect(
+    graph: WeightedGraph,
+    max_passes: int = 10,
+    seed: int | None = None,
+) -> KLResult:
+    """Bisect *graph* into two (near-)equal halves minimising edge cut.
+
+    The initial split alternates nodes by insertion order (or by a seeded
+    shuffle when *seed* is given, matching the randomised restarts used in
+    the literature).  Sizes differ by at most one node.
+    """
+    nodes = graph.node_list()
+    n = len(nodes)
+    if n == 0:
+        raise ValueError("cannot bisect an empty graph")
+    if n == 1:
+        return KLResult(set(nodes), set(), 0.0, 0)
+
+    if seed is not None:
+        nodes = RandomSource(seed).shuffled(nodes)
+    side: dict[NodeId, int] = {node: i % 2 for i, node in enumerate(nodes)}
+
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improved = _run_pass(graph, side)
+        if not improved:
+            break
+
+    part_one = {node for node, s in side.items() if s == 0}
+    part_two = {node for node, s in side.items() if s == 1}
+    return KLResult(part_one, part_two, graph.cut_weight(part_one), passes)
+
+
+def _d_values(graph: WeightedGraph, side: dict[NodeId, int]) -> dict[NodeId, float]:
+    """D(v) = external cost - internal cost for every node."""
+    d: dict[NodeId, float] = {}
+    for node in graph.nodes():
+        external = 0.0
+        internal = 0.0
+        for neighbor, weight in graph.neighbor_items(node):
+            if side[neighbor] == side[node]:
+                internal += weight
+            else:
+                external += weight
+        d[node] = external - internal
+    return d
+
+
+def _run_pass(graph: WeightedGraph, side: dict[NodeId, int]) -> bool:
+    """One KL pass; mutates *side* if a positive-gain prefix exists."""
+    d = _d_values(graph, side)
+    locked: set[NodeId] = set()
+    swaps: list[tuple[NodeId, NodeId, float]] = []
+
+    pair_budget = min(
+        sum(1 for s in side.values() if s == 0),
+        sum(1 for s in side.values() if s == 1),
+    )
+    for _ in range(pair_budget):
+        pair = _best_pair(graph, side, d, locked)
+        if pair is None:
+            break
+        a, b, gain = pair
+        swaps.append((a, b, gain))
+        locked.add(a)
+        locked.add(b)
+        _update_d_after_swap(graph, side, d, a, b, locked)
+
+    # Best prefix of cumulative gains.
+    best_total = 0.0
+    best_k = 0
+    running = 0.0
+    for k, (_, _, gain) in enumerate(swaps, start=1):
+        running += gain
+        if running > best_total + 1e-12:
+            best_total = running
+            best_k = k
+
+    if best_k == 0:
+        return False
+    for a, b, _ in swaps[:best_k]:
+        side[a], side[b] = side[b], side[a]
+    return True
+
+
+def _best_pair(
+    graph: WeightedGraph,
+    side: dict[NodeId, int],
+    d: dict[NodeId, float],
+    locked: set[NodeId],
+) -> tuple[NodeId, NodeId, float] | None:
+    """Highest-gain unlocked (a in part 0, b in part 1) pair.
+
+    Scans the top ``_CANDIDATES_PER_SIDE`` D-values per side, which makes
+    missing the true best pair possible only when the pair's edge weight
+    dwarfs its D-values — exactly the pairs not worth swapping.
+    """
+    side_zero = [node for node in graph.nodes() if side[node] == 0 and node not in locked]
+    side_one = [node for node in graph.nodes() if side[node] == 1 and node not in locked]
+    if not side_zero or not side_one:
+        return None
+    side_zero.sort(key=lambda node: -d[node])
+    side_one.sort(key=lambda node: -d[node])
+
+    best: tuple[NodeId, NodeId, float] | None = None
+    for a in side_zero[:_CANDIDATES_PER_SIDE]:
+        for b in side_one[:_CANDIDATES_PER_SIDE]:
+            weight_ab = graph.edge_weight(a, b) if graph.has_edge(a, b) else 0.0
+            gain = d[a] + d[b] - 2.0 * weight_ab
+            if best is None or gain > best[2]:
+                best = (a, b, gain)
+    return best
+
+
+def _update_d_after_swap(
+    graph: WeightedGraph,
+    side: dict[NodeId, int],
+    d: dict[NodeId, float],
+    a: NodeId,
+    b: NodeId,
+    locked: set[NodeId],
+) -> None:
+    """Incremental D updates after tentatively swapping *a* and *b*.
+
+    Standard KL update: for an unlocked x on a's side,
+    ``D'(x) = D(x) + 2 w(x, a) - 2 w(x, b)`` (symmetrically for b's side).
+    The swap itself is *not* applied to ``side`` — KL evaluates all swaps
+    against the original partition with locked nodes virtually exchanged.
+    """
+    for x in graph.nodes():
+        if x in locked or x == a or x == b:
+            continue
+        w_xa = graph.edge_weight(x, a) if graph.has_edge(x, a) else 0.0
+        w_xb = graph.edge_weight(x, b) if graph.has_edge(x, b) else 0.0
+        if side[x] == side[a]:
+            d[x] += 2.0 * w_xa - 2.0 * w_xb
+        else:
+            d[x] += 2.0 * w_xb - 2.0 * w_xa

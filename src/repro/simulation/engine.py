@@ -1,0 +1,340 @@
+"""The discrete-event engine executing an offloading placement.
+
+Execution model (the event-driven analogue of Section II's formulas):
+
+* at t=0 every device starts its local share, finishing after
+  ``local_work / I_c`` seconds and drawing ``p_c`` watts while computing;
+* users with remote work upload their cut data over their own uplink at
+  ``b`` data-units/s, drawing ``p_t`` watts while transmitting (so with a
+  healthy link the energy equals formula (4)'s ``cut * p_t / b``);
+* completed uploads join the edge server's FCFS queue; the server serves
+  one job at a time at its full capacity ``C`` (the work-conserving
+  equivalent of the FCFS allocation policy);
+* faults (:mod:`repro.simulation.faults`) change a rate mid-run — the
+  engine tracks remaining work and re-paces in-flight transfers and jobs.
+
+Event invalidation uses per-activity version counters: re-pacing an
+activity bumps its version, and completion events carrying a stale
+version are discarded when popped.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem
+from repro.simulation.events import EventQueue
+from repro.simulation.faults import BandwidthChange, Fault, ServerDegradation
+from repro.simulation.report import SimulationReport, UserTimeline
+
+_EPS = 1e-12
+
+
+@dataclass
+class _Activity:
+    """An in-flight transfer or service with re-paceable rate."""
+
+    remaining: float
+    rate: float
+    last_update: float
+    version: int = 0
+
+    def progress_to(self, now: float) -> None:
+        """Advance the activity's remaining work to time *now*."""
+        elapsed = max(0.0, now - self.last_update)
+        self.remaining = max(0.0, self.remaining - self.rate * elapsed)
+        self.last_update = now
+
+    def completion_time(self, now: float) -> float:
+        """When the activity finishes if the rate stays constant."""
+        if self.rate <= _EPS:
+            return float("inf")
+        return now + self.remaining / self.rate
+
+    def is_complete(self, now: float) -> bool:
+        """Whether the activity is done *as far as simulated time can tell*.
+
+        Two cases: the remaining work is negligible, or it is so small
+        relative to the rate that finishing it advances the clock by less
+        than one representable float step — rescheduling such a residue
+        at ``completion_time(now) == now`` would loop forever, so it
+        counts as complete (the work lost is below measurement precision).
+        """
+        if self.remaining <= _EPS:
+            return True
+        if self.rate <= _EPS:
+            return False
+        return self.remaining / self.rate <= 4.0 * math.ulp(max(now, 1.0))
+
+
+class SimulationEngine:
+    """Runs one placement to completion and reports the measured outcome."""
+
+    def __init__(
+        self,
+        system: MECSystem,
+        apps: Mapping[str, PartitionedApplication],
+        remote_parts: Mapping[str, set[int]],
+        faults: Iterable[Fault] = (),
+        shared_uplink_capacity: float | None = None,
+        arrivals: Mapping[str, float] | None = None,
+    ) -> None:
+        self.system = system
+        self.apps = apps
+        self.remote_parts = {u: set(p) for u, p in remote_parts.items()}
+        self.faults = sorted(faults, key=lambda f: f.time)
+        known_users = {u.user_id for u in system.users}
+        self.arrivals = dict(arrivals or {})
+        for user_id, time in self.arrivals.items():
+            if user_id not in known_users:
+                raise ValueError(f"arrival for unknown user {user_id!r}")
+            if time < 0:
+                raise ValueError(f"arrival time must be >= 0, got {time!r}")
+        if shared_uplink_capacity is not None and shared_uplink_capacity <= 0:
+            raise ValueError(
+                f"shared_uplink_capacity must be > 0, got {shared_uplink_capacity!r}"
+            )
+        self.shared_uplink_capacity = shared_uplink_capacity
+        """When set, all users contend for one wireless channel of this
+        total capacity instead of owning private uplinks: active uploads
+        receive an equal share (scaled by any per-user bandwidth-change
+        factor), re-paced whenever an upload starts, finishes, or a fault
+        fires — the fair-share cellular model."""
+        for fault in self.faults:
+            if isinstance(fault, BandwidthChange) and fault.user_id not in {
+                u.user_id for u in system.users
+            }:
+                raise ValueError(f"fault targets unknown user {fault.user_id!r}")
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Execute the placement; returns the measured report."""
+        report = SimulationReport()
+        queue = EventQueue()
+
+        uplinks: dict[str, _Activity] = {}
+        bandwidth_factor: dict[str, float] = {}
+        server_factor = 1.0
+        server_queue: deque[str] = deque()
+        server_job: tuple[str, _Activity] | None = None
+        server_busy_since: float | None = None
+
+        # Initialise users.
+        for user in self.system.users:
+            app = self.apps.get(user.user_id)
+            if app is None:
+                continue
+            parts = self.remote_parts.get(user.user_id, set())
+            arrival = self.arrivals.get(user.user_id, 0.0)
+            timeline = UserTimeline(
+                user_id=user.user_id,
+                local_work=app.local_weight(parts),
+                remote_work=app.remote_weight(parts),
+                cut_data=app.cut_weight(parts),
+                arrival=arrival,
+                upload_start=arrival,
+            )
+            report.per_user[user.user_id] = timeline
+            bandwidth_factor[user.user_id] = 1.0
+
+            device = user.device
+            if timeline.local_work > 0:
+                timeline.local_finish = (
+                    arrival + timeline.local_work / device.compute_capacity
+                )
+                timeline.local_energy = (
+                    timeline.local_work / device.compute_capacity
+                ) * device.power_compute
+            if timeline.remote_work > 0:
+                queue.push(arrival, ("upload_begin", user.user_id, 0))
+
+        for fault in self.faults:
+            queue.push(fault.time, ("fault", fault, 0))
+
+        # Drain the calendar.
+        now = 0.0
+        while queue:
+            now, payload = queue.pop()
+            kind = payload[0]
+            report.events_processed += 1
+
+            if kind == "upload_begin":
+                _, user_id, _version = payload
+                device = self.system.user(user_id).device
+                # A bandwidth fault may have fired before this user's
+                # arrival: the recorded factor applies from the start.
+                activity = _Activity(
+                    remaining=report.per_user[user_id].cut_data,
+                    rate=device.bandwidth * bandwidth_factor[user_id],
+                    last_update=now,
+                )
+                uplinks[user_id] = activity
+                if self.shared_uplink_capacity is None:
+                    queue.push(
+                        activity.completion_time(now),
+                        ("upload_done", user_id, activity.version),
+                    )
+                else:
+                    self._repace_shared(now, uplinks, bandwidth_factor, queue)
+
+            elif kind == "upload_done":
+                _, user_id, version = payload
+                activity = uplinks.get(user_id)
+                if activity is None or activity.version != version:
+                    continue  # stale (re-paced) event
+                activity.progress_to(now)
+                if not activity.is_complete(now):
+                    # Residual work (clock jitter): reschedule, don't strand.
+                    activity.version += 1
+                    queue.push(
+                        activity.completion_time(now),
+                        ("upload_done", user_id, activity.version),
+                    )
+                    continue
+                del uplinks[user_id]
+                timeline = report.per_user[user_id]
+                timeline.upload_finish = now
+                device = self.system.user(user_id).device
+                timeline.transmission_energy = device.power_transmit * timeline.airtime
+                server_queue.append(user_id)
+                if server_job is None:
+                    server_job, server_busy_since = self._start_service(
+                        now, server_queue, server_factor, report, queue
+                    )
+                if self.shared_uplink_capacity is not None:
+                    # One upload left the channel: survivors speed up.
+                    self._repace_shared(now, uplinks, bandwidth_factor, queue)
+
+            elif kind == "service_done":
+                _, user_id, version = payload
+                if server_job is None or server_job[0] != user_id:
+                    continue
+                activity = server_job[1]
+                if activity.version != version:
+                    continue
+                activity.progress_to(now)
+                if not activity.is_complete(now):
+                    activity.version += 1
+                    queue.push(
+                        activity.completion_time(now),
+                        ("service_done", user_id, activity.version),
+                    )
+                    continue
+                report.per_user[user_id].service_finish = now
+                if server_busy_since is not None:
+                    report.server_busy += now - server_busy_since
+                server_job = None
+                server_busy_since = None
+                if server_queue:
+                    server_job, server_busy_since = self._start_service(
+                        now, server_queue, server_factor, report, queue
+                    )
+
+            elif kind == "fault":
+                fault = payload[1]
+                if isinstance(fault, ServerDegradation):
+                    server_factor = fault.factor
+                    if server_job is not None:
+                        _, activity = server_job
+                        activity.progress_to(now)
+                        activity.rate = (
+                            self.system.server.total_capacity * server_factor
+                        )
+                        activity.version += 1
+                        queue.push(
+                            activity.completion_time(now),
+                            ("service_done", server_job[0], activity.version),
+                        )
+                elif isinstance(fault, BandwidthChange):
+                    bandwidth_factor[fault.user_id] = fault.factor
+                    if self.shared_uplink_capacity is not None:
+                        self._repace_shared(now, uplinks, bandwidth_factor, queue)
+                    else:
+                        activity = uplinks.get(fault.user_id)
+                        if activity is not None:
+                            activity.progress_to(now)
+                            device = self.system.user(fault.user_id).device
+                            activity.rate = device.bandwidth * fault.factor
+                            activity.version += 1
+                            queue.push(
+                                activity.completion_time(now),
+                                ("upload_done", fault.user_id, activity.version),
+                            )
+                else:  # pragma: no cover - new fault kinds must be handled
+                    raise TypeError(f"unhandled fault type {type(fault).__name__}")
+
+        report.makespan = max(
+            (t.completion for t in report.per_user.values()), default=0.0
+        )
+        return report
+
+    def _repace_shared(
+        self,
+        now: float,
+        uplinks: dict[str, _Activity],
+        bandwidth_factor: dict[str, float],
+        queue: EventQueue,
+    ) -> None:
+        """Fair-share re-pacing of every active upload (shared channel).
+
+        Each active upload gets ``capacity / n_active`` scaled by its
+        user's bandwidth factor; versions bump so previously scheduled
+        completions become stale.
+        """
+        if not uplinks:
+            return
+        assert self.shared_uplink_capacity is not None
+        share = self.shared_uplink_capacity / len(uplinks)
+        for user_id, activity in uplinks.items():
+            activity.progress_to(now)
+            activity.rate = share * bandwidth_factor[user_id]
+            activity.version += 1
+            queue.push(
+                activity.completion_time(now),
+                ("upload_done", user_id, activity.version),
+            )
+
+    def _start_service(
+        self,
+        now: float,
+        server_queue: deque[str],
+        server_factor: float,
+        report: SimulationReport,
+        queue: EventQueue,
+    ) -> tuple[tuple[str, _Activity], float]:
+        """Dequeue the next user and begin serving their remote work."""
+        user_id = server_queue.popleft()
+        timeline = report.per_user[user_id]
+        timeline.service_start = now
+        activity = _Activity(
+            remaining=timeline.remote_work,
+            rate=self.system.server.total_capacity * server_factor,
+            last_update=now,
+        )
+        queue.push(
+            activity.completion_time(now), ("service_done", user_id, activity.version)
+        )
+        return (user_id, activity), now
+
+
+def simulate_scheme(
+    system: MECSystem,
+    apps: Mapping[str, PartitionedApplication],
+    remote_parts: Mapping[str, set[int]],
+    faults: Iterable[Fault] = (),
+    shared_uplink_capacity: float | None = None,
+    arrivals: Mapping[str, float] | None = None,
+) -> SimulationReport:
+    """Convenience wrapper: build the engine and run it."""
+    return SimulationEngine(
+        system,
+        apps,
+        remote_parts,
+        faults,
+        shared_uplink_capacity=shared_uplink_capacity,
+        arrivals=arrivals,
+    ).run()

@@ -1,0 +1,54 @@
+"""The event calendar: a stable priority queue over simulated time.
+
+Events at equal timestamps pop in insertion order (a monotone sequence
+number breaks ties), which keeps every simulation fully deterministic —
+the property all replay-style tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, payload)`` entries.
+
+    >>> q = EventQueue()
+    >>> q.push(2.0, "later")
+    >>> q.push(1.0, "sooner")
+    >>> q.pop()
+    (1.0, 'sooner')
+    >>> q.pop()
+    (2.0, 'later')
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule *payload* at the given simulated *time*."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time!r}")
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,49 @@
+"""Fault injection: rate changes at simulated timestamps.
+
+Faults model the conditions the closed-form formulas assume away: the
+edge server slowing under outside load, a user walking out of good radio
+coverage.  A fault is a *rate multiplier* applied from its timestamp
+onward; factors above 1.0 model recovery or upgrades.  In-flight work is
+re-paced from the fault instant (the engine tracks remaining work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: something changes at ``time``."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.time, "fault time")
+
+
+@dataclass(frozen=True)
+class ServerDegradation(Fault):
+    """The edge server's effective capacity is multiplied by ``factor``."""
+
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive(self.factor, "factor")
+
+
+@dataclass(frozen=True)
+class BandwidthChange(Fault):
+    """One user's uplink bandwidth is multiplied by ``factor``."""
+
+    user_id: str = ""
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.user_id:
+            raise ValueError("BandwidthChange requires a user_id")
+        ensure_positive(self.factor, "factor")

@@ -1,0 +1,126 @@
+"""Simulation outputs: per-user timelines and system aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UserTimeline:
+    """What one user experienced during the simulated execution."""
+
+    user_id: str
+    local_work: float = 0.0
+    remote_work: float = 0.0
+    cut_data: float = 0.0
+
+    arrival: float = 0.0
+    """When this user's workload entered the system."""
+
+    local_finish: float = 0.0
+    """When the device finished its local share (0 if none)."""
+
+    upload_start: float = 0.0
+    """When the cut data started transmitting (= arrival)."""
+
+    upload_finish: float = 0.0
+    """When the cut data finished transmitting (0 if nothing remote)."""
+
+    service_start: float = 0.0
+    """When the edge server started this user's remote work."""
+
+    service_finish: float = 0.0
+    """When the edge server completed this user's remote work."""
+
+    local_energy: float = 0.0
+    transmission_energy: float = 0.0
+
+    @property
+    def completion(self) -> float:
+        """This user's end-to-end completion time (absolute clock)."""
+        return max(self.local_finish, self.service_finish)
+
+    @property
+    def sojourn(self) -> float:
+        """Completion relative to this user's arrival."""
+        return max(0.0, self.completion - self.arrival)
+
+    @property
+    def airtime(self) -> float:
+        """Wall-clock duration the radio was transmitting."""
+        return max(0.0, self.upload_finish - self.upload_start)
+
+    @property
+    def waiting(self) -> float:
+        """Time the remote work sat queued after its data arrived."""
+        return max(0.0, self.service_start - self.upload_finish)
+
+    @property
+    def energy(self) -> float:
+        """Total device-side energy (compute + transmit)."""
+        return self.local_energy + self.transmission_energy
+
+
+@dataclass
+class SimulationReport:
+    """System-level outcome of one simulated run."""
+
+    per_user: dict[str, UserTimeline] = field(default_factory=dict)
+    events_processed: int = 0
+    server_busy: float = 0.0
+    makespan: float = 0.0
+
+    @property
+    def total_energy(self) -> float:
+        """``E`` measured by execution rather than by formula."""
+        return sum(t.energy for t in self.per_user.values())
+
+    @property
+    def total_local_energy(self) -> float:
+        """Σ device compute energy."""
+        return sum(t.local_energy for t in self.per_user.values())
+
+    @property
+    def total_transmission_energy(self) -> float:
+        """Σ uplink transmission energy."""
+        return sum(t.transmission_energy for t in self.per_user.values())
+
+    @property
+    def total_completion_time(self) -> float:
+        """Σ per-user completion times (the simulated analogue of ``T``)."""
+        return sum(t.completion for t in self.per_user.values())
+
+    @property
+    def server_utilization(self) -> float:
+        """Fraction of the makespan the server spent serving."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.server_busy / self.makespan
+
+    def timeline(self, user_id: str) -> UserTimeline:
+        """The timeline of one user."""
+        if user_id not in self.per_user:
+            raise KeyError(f"unknown user {user_id!r}")
+        return self.per_user[user_id]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the CLI's ``simulate --json`` output)."""
+        from dataclasses import asdict
+
+        return {
+            "makespan": self.makespan,
+            "events_processed": self.events_processed,
+            "server_busy": self.server_busy,
+            "server_utilization": self.server_utilization,
+            "total_energy": self.total_energy,
+            "per_user": {
+                user_id: {
+                    **asdict(timeline),
+                    "completion": timeline.completion,
+                    "waiting": timeline.waiting,
+                    "sojourn": timeline.sojourn,
+                    "airtime": timeline.airtime,
+                }
+                for user_id, timeline in self.per_user.items()
+            },
+        }

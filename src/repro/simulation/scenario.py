@@ -1,0 +1,110 @@
+"""Scenario bundles: name + conditions + one reusable run() call.
+
+A study usually replays the *same* planned scheme under several
+conditions (healthy, degraded server, bad radio, staggered arrivals,
+shared channel).  :class:`Scenario` captures one set of conditions;
+:func:`compare_scenarios` runs a batch against a common placement and
+returns aligned results, ready for a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.faults import Fault
+from repro.simulation.report import SimulationReport
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named set of execution conditions."""
+
+    name: str
+    faults: tuple[Fault, ...] = ()
+    arrivals: Mapping[str, float] | None = None
+    shared_uplink_capacity: float | None = None
+
+    def run(
+        self,
+        system: MECSystem,
+        apps: Mapping[str, PartitionedApplication],
+        remote_parts: Mapping[str, set[int]],
+    ) -> SimulationReport:
+        """Execute the placement under this scenario's conditions."""
+        return SimulationEngine(
+            system,
+            apps,
+            remote_parts,
+            faults=self.faults,
+            shared_uplink_capacity=self.shared_uplink_capacity,
+            arrivals=self.arrivals,
+        ).run()
+
+
+@dataclass
+class ScenarioComparison:
+    """Aligned results of one placement under several scenarios."""
+
+    baseline: str
+    reports: dict[str, SimulationReport] = field(default_factory=dict)
+
+    def report(self, name: str) -> SimulationReport:
+        """The report of one scenario."""
+        if name not in self.reports:
+            raise KeyError(f"unknown scenario {name!r}")
+        return self.reports[name]
+
+    def makespan_inflation(self, name: str) -> float:
+        """Scenario makespan / baseline makespan (1.0 = unaffected)."""
+        base = self.reports[self.baseline].makespan
+        if base <= 0:
+            return 1.0
+        return self.report(name).makespan / base
+
+    def energy_inflation(self, name: str) -> float:
+        """Scenario energy / baseline energy."""
+        base = self.reports[self.baseline].total_energy
+        if base <= 0:
+            return 1.0
+        return self.report(name).total_energy / base
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: scenario, makespan, x baseline, energy, x baseline."""
+        out: list[list[object]] = []
+        for name, report in self.reports.items():
+            out.append(
+                [
+                    name,
+                    report.makespan,
+                    self.makespan_inflation(name),
+                    report.total_energy,
+                    self.energy_inflation(name),
+                ]
+            )
+        return out
+
+
+def compare_scenarios(
+    system: MECSystem,
+    apps: Mapping[str, PartitionedApplication],
+    remote_parts: Mapping[str, set[int]],
+    scenarios: Sequence[Scenario],
+) -> ScenarioComparison:
+    """Run every scenario against the same placement.
+
+    The first scenario is the baseline the inflations are relative to.
+    Scenario names must be unique.
+    """
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names: {names}")
+    comparison = ScenarioComparison(baseline=scenarios[0].name)
+    for scenario in scenarios:
+        comparison.reports[scenario.name] = scenario.run(system, apps, remote_parts)
+    return comparison

@@ -1,0 +1,141 @@
+"""Structured event traces for simulated executions.
+
+Debugging an event-driven run means seeing the event sequence.  A
+:class:`TraceRecorder` wraps the engine's event queue and captures every
+*processed* event (stale/invalidated events are marked as skipped), with
+helpers to filter, render, and export the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.faults import Fault
+from repro.simulation.report import SimulationReport
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed (or skipped) simulation event."""
+
+    index: int
+    time: float
+    kind: str
+    subject: str
+    """User id for transfer/service events, fault type for faults."""
+
+    def as_line(self) -> str:
+        """Human-readable one-liner."""
+        return f"[{self.index:4d}] t={self.time:10.4f}  {self.kind:<14s} {self.subject}"
+
+
+@dataclass
+class SimulationTrace:
+    """The recorded event sequence of one run."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[TraceEntry]:
+        """Entries of one event kind."""
+        return [e for e in self.entries if e.kind == kind]
+
+    def for_user(self, user_id: str) -> list[TraceEntry]:
+        """Entries whose subject is *user_id*."""
+        return [e for e in self.entries if e.subject == user_id]
+
+    def render(self, limit: int | None = None) -> str:
+        """Multi-line rendering (clipped to *limit* entries)."""
+        chosen = self.entries if limit is None else self.entries[:limit]
+        body = "\n".join(entry.as_line() for entry in chosen)
+        if limit is not None and len(self.entries) > limit:
+            body += f"\n... ({len(self.entries) - limit} more)"
+        return body
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-serialisable form."""
+        return [
+            {
+                "index": e.index,
+                "time": e.time,
+                "kind": e.kind,
+                "subject": e.subject,
+            }
+            for e in self.entries
+        ]
+
+    def is_time_ordered(self) -> bool:
+        """Whether timestamps never decrease (a core engine invariant)."""
+        times = [e.time for e in self.entries]
+        return all(later >= earlier for earlier, later in zip(times, times[1:]))
+
+
+class _TracingQueue:
+    """EventQueue proxy that records every pop."""
+
+    def __init__(self, inner, trace: SimulationTrace) -> None:
+        self._inner = inner
+        self._trace = trace
+
+    def push(self, time: float, payload: Any) -> None:
+        self._inner.push(time, payload)
+
+    def pop(self):
+        time, payload = self._inner.pop()
+        kind = payload[0]
+        if kind == "fault":
+            subject = type(payload[1]).__name__
+        else:
+            subject = str(payload[1])
+        self._trace.entries.append(
+            TraceEntry(
+                index=len(self._trace.entries), time=time, kind=kind, subject=subject
+            )
+        )
+        return time, payload
+
+    def peek_time(self) -> float:
+        return self._inner.peek_time()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __bool__(self) -> bool:
+        return bool(self._inner)
+
+
+def traced_simulation(
+    system: MECSystem,
+    apps: Mapping[str, PartitionedApplication],
+    remote_parts: Mapping[str, set[int]],
+    faults: Iterable[Fault] = (),
+    shared_uplink_capacity: float | None = None,
+    arrivals: Mapping[str, float] | None = None,
+) -> tuple[SimulationReport, SimulationTrace]:
+    """Run a simulation and capture its full event trace.
+
+    Same semantics as :func:`repro.simulation.engine.simulate_scheme`;
+    the trace records events in processing order.
+    """
+    import repro.simulation.engine as engine_module
+
+    trace = SimulationTrace()
+    engine = SimulationEngine(
+        system,
+        apps,
+        remote_parts,
+        faults,
+        shared_uplink_capacity=shared_uplink_capacity,
+        arrivals=arrivals,
+    )
+
+    original_queue_type = engine_module.EventQueue
+    try:
+        engine_module.EventQueue = lambda: _TracingQueue(original_queue_type(), trace)
+        report = engine.run()
+    finally:
+        engine_module.EventQueue = original_queue_type
+    return report, trace

@@ -1,0 +1,109 @@
+"""Recursive spectral partitioning (extension beyond the paper).
+
+The paper cuts each compressed sub-graph exactly once ("we just partition
+each sub-graph into two parts ... to reduce the number in the
+communication").  Its conclusion lists reducing complexity / exploring
+variants as future work; the natural variant is *recursive* bisection:
+keep splitting the heaviest parts while each split's cut stays cheap
+relative to the computation it unlocks.
+
+``recursive_spectral_partition`` stops splitting a part when any of:
+
+* the part has fewer than ``min_part_size`` nodes;
+* the maximum number of parts is reached;
+* the split's cut weight exceeds ``max_cut_ratio`` times the part's total
+  node weight (the split would cost more communication than the
+  flexibility is worth — the same balance Algorithm 2 optimises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.spectral.bisection import spectral_bisect
+from repro.spectral.fiedler import FiedlerSolver
+
+NodeId = Hashable
+
+
+@dataclass
+class RecursivePartition:
+    """Outcome of a recursive spectral partition."""
+
+    parts: list[set[NodeId]]
+    cut_total: float
+    splits: int
+    rejected_splits: int = 0
+    split_tree: list[tuple[int, int, int]] = field(default_factory=list)
+    """(parent part index, child one, child two) per accepted split, with
+    indices referring to the *final* parts list for children and the
+    pre-split list for parents (parents are replaced in place)."""
+
+
+def recursive_spectral_partition(
+    graph: WeightedGraph,
+    max_parts: int = 8,
+    min_part_size: int = 2,
+    max_cut_ratio: float = 0.5,
+    solver: FiedlerSolver | None = None,
+) -> RecursivePartition:
+    """Partition *graph* into up to *max_parts* parts by recursive bisection.
+
+    Splits are applied greedily to the current heaviest part (by node
+    weight); a candidate split is rejected when its cut exceeds
+    ``max_cut_ratio * part weight``, and a rejected part is never retried.
+    """
+    if max_parts < 1:
+        raise ValueError(f"max_parts must be >= 1, got {max_parts}")
+    if min_part_size < 1:
+        raise ValueError(f"min_part_size must be >= 1, got {min_part_size}")
+    if max_cut_ratio < 0:
+        raise ValueError(f"max_cut_ratio must be >= 0, got {max_cut_ratio}")
+    solver = solver or FiedlerSolver()
+
+    parts: list[set[NodeId]] = [set(graph.nodes())]
+    frozen: set[int] = set()
+    cut_total = 0.0
+    splits = 0
+    rejected = 0
+    tree: list[tuple[int, int, int]] = []
+
+    def part_weight(part: set[NodeId]) -> float:
+        return sum(graph.node_weight(n) for n in part)
+
+    while len(parts) < max_parts:
+        # Heaviest splittable part.
+        candidates = [
+            i
+            for i, part in enumerate(parts)
+            if i not in frozen and len(part) >= 2 * min_part_size
+        ]
+        if not candidates:
+            break
+        target = max(candidates, key=lambda i: part_weight(parts[i]))
+        subgraph = graph.subgraph(parts[target])
+        result = spectral_bisect(subgraph, solver)
+        if not result.part_one or not result.part_two:
+            frozen.add(target)
+            continue
+        weight = part_weight(parts[target])
+        if weight > 0 and result.cut_value > max_cut_ratio * weight:
+            frozen.add(target)
+            rejected += 1
+            continue
+        # Accept: replace the parent with child one, append child two.
+        parts[target] = set(result.part_one)
+        parts.append(set(result.part_two))
+        tree.append((target, target, len(parts) - 1))
+        cut_total += result.cut_value
+        splits += 1
+
+    return RecursivePartition(
+        parts=parts,
+        cut_total=cut_total,
+        splits=splits,
+        rejected_splits=rejected,
+        split_tree=tree,
+    )

@@ -1,0 +1,19 @@
+"""Shared utilities: seeded randomness, timing, validation helpers."""
+
+from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.timer import Stopwatch, time_call
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "Stopwatch",
+    "time_call",
+    "ensure_in_range",
+    "ensure_non_negative",
+    "ensure_positive",
+]

@@ -1,0 +1,77 @@
+"""Lightweight wall-clock timing used by the Fig. 9 runtime experiment."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Supports both context-manager usage and explicit start/stop, and keeps
+    a count of laps so the experiment harness can report mean lap times.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(100))
+    >>> watch.laps
+    1
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps = 0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Start a lap; raises if the watch is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current lap and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps += 1
+        return lap
+
+    @property
+    def running(self) -> bool:
+        """Whether a lap is currently being timed."""
+        return self._started_at is not None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean lap duration in seconds (0.0 when no lap has finished)."""
+        if self.laps == 0:
+            return 0.0
+        return self.elapsed / self.laps
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self.elapsed = 0.0
+        self.laps = 0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call *func* and return ``(result, seconds)``."""
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - started

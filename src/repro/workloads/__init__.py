@@ -1,0 +1,37 @@
+"""Workload generation for experiments, examples and tests.
+
+The paper uses NETGEN to create random graphs "similar to the actual
+function data flow graph of mobile applications".  This package provides
+that generator (:mod:`repro.workloads.netgen`), plus application-level
+generators that exercise the bytecode IR end-to-end, multi-user system
+builders, and the parameter profiles the experiment harness sweeps.
+"""
+
+from repro.workloads.applications import (
+    call_graph_from_weighted_graph,
+    synthesize_application,
+)
+from repro.workloads.multiuser import (
+    MultiUserWorkload,
+    build_mec_system,
+    poisson_arrivals,
+)
+from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.netgen import NetgenConfig, netgen_graph, paper_network_configs
+from repro.workloads.profiles import ExperimentProfile, paper_profile, quick_profile
+
+__all__ = [
+    "NetgenConfig",
+    "netgen_graph",
+    "paper_network_configs",
+    "synthesize_application",
+    "call_graph_from_weighted_graph",
+    "MultiUserWorkload",
+    "build_mec_system",
+    "poisson_arrivals",
+    "save_trace",
+    "load_trace",
+    "ExperimentProfile",
+    "paper_profile",
+    "quick_profile",
+]

@@ -1,0 +1,111 @@
+"""Multi-user workload construction.
+
+Builds the :class:`~repro.mec.system.MECSystem` for the multi-user
+experiments: *n* users, each running an application drawn from a small
+pool of distinct NETGEN graphs (round-robin), all served by one edge
+server whose capacity scales with the user count per the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.admission import AllocationPolicy
+from repro.utils.rng import RandomSource
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.workloads.applications import call_graph_from_weighted_graph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import ExperimentProfile
+
+
+def poisson_arrivals(
+    user_ids: list[str], rate: float, seed: int = 0
+) -> dict[str, float]:
+    """Poisson-process arrival times for the discrete-event simulator.
+
+    Users arrive in id order with exponential inter-arrival gaps of mean
+    ``1 / rate``; the first user arrives at its first gap (not at 0), so
+    even a single user exercises the arrival machinery.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    rng = RandomSource(seed).spawn("arrivals", rate, len(user_ids))
+    arrivals: dict[str, float] = {}
+    clock = 0.0
+    for user_id in user_ids:
+        clock += rng.expovariate(rate)
+        arrivals[user_id] = clock
+    return arrivals
+
+
+@dataclass
+class MultiUserWorkload:
+    """A generated multi-user scenario."""
+
+    system: MECSystem
+    call_graphs: dict[str, FunctionCallGraph]
+    """Per-user call graphs (the planner's per-user input)."""
+
+    distinct_graphs: list[FunctionCallGraph]
+    """The graph pool; users reference these round-robin.  Planners can
+    plan each distinct graph once and reuse the parts across its users."""
+
+    user_graph_index: dict[str, int]
+    """Which pool entry each user runs."""
+
+
+def build_mec_system(
+    n_users: int,
+    profile: ExperimentProfile,
+    graph_size: int | None = None,
+    allocation: AllocationPolicy | None = None,
+) -> MultiUserWorkload:
+    """Build an *n_users* MEC system per *profile*.
+
+    Each of the ``profile.distinct_graphs`` pool entries is generated with
+    its own seed; user ``k`` runs pool entry ``k mod pool_size``.  The
+    server's total capacity is ``server_capacity_per_user * n_users``.
+    """
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    size = graph_size if graph_size is not None else profile.multiuser_graph_size
+
+    pool: list[FunctionCallGraph] = []
+    pool_size = max(1, min(profile.distinct_graphs, n_users))
+    for g in range(pool_size):
+        config = NetgenConfig(
+            n_nodes=size,
+            n_edges=profile.edges_for(size),
+            seed=profile.seed + 1000 * g,
+        )
+        graph = netgen_graph(config)
+        pool.append(
+            call_graph_from_weighted_graph(
+                graph,
+                app_name=f"app-{g}",
+                unoffloadable_fraction=profile.unoffloadable_fraction,
+                seed=profile.seed + g,
+            )
+        )
+
+    users: list[UserContext] = []
+    call_graphs: dict[str, FunctionCallGraph] = {}
+    user_graph_index: dict[str, int] = {}
+    for k in range(n_users):
+        user_id = f"user{k:05d}"
+        device = MobileDevice(device_id=user_id, profile=profile.device)
+        graph_index = k % pool_size
+        users.append(UserContext(device=device, call_graph=pool[graph_index]))
+        call_graphs[user_id] = pool[graph_index]
+        user_graph_index[user_id] = graph_index
+
+    server = EdgeServer(total_capacity=profile.server_capacity_per_user * n_users)
+    system = MECSystem(server=server, users=users, allocation=allocation)
+    return MultiUserWorkload(
+        system=system,
+        call_graphs=call_graphs,
+        distinct_graphs=pool,
+        user_graph_index=user_graph_index,
+    )

@@ -1,0 +1,271 @@
+"""NETGEN-style random function-data-flow-graph generation.
+
+The generator reproduces the structural properties that make compression
+(Table I) and cutting (Figs. 3-8) behave as in the paper:
+
+* an application consists of several *components* (activities/services);
+  the generated graph has one connected component per application
+  component, matching Section III-A's component-boundary split;
+* each component consists of *tightly coupled clusters* (functions that
+  exchange lots of data) joined by light data flows — intra-cluster edges
+  draw communication weights from a heavy range, inter-cluster edges from
+  a light range;
+* cluster size grows slowly with graph size, reproducing Table I's rising
+  compression ratio.
+
+``netgen_graph`` honours exact node and edge counts, like the original
+NETGEN's interface (number of nodes, number of edges, weight ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class NetgenConfig:
+    """Parameters of one generated network (NETGEN's knob set)."""
+
+    n_nodes: int
+    n_edges: int
+    seed: int = 0
+    node_weight_range: tuple[float, float] = (1.0, 10.0)
+    intra_weight_range: tuple[float, float] = (10.0, 20.0)
+    inter_weight_range: tuple[float, float] = (0.2, 2.0)
+    intra_edge_fraction: float = 0.8
+    cluster_size_exponent: float = 0.28
+    """Mean cluster size grows as ``n_nodes ** exponent`` — reproducing
+    Table I's rising compression ratio with graph size."""
+
+    component_size_target: int = 60
+    """Nodes per application component; the graph gets roughly
+    ``n_nodes / component_size_target`` connected components."""
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"n_nodes must be >= 2, got {self.n_nodes}")
+        if self.component_size_target < 4:
+            raise ValueError(
+                f"component_size_target must be >= 4, got {self.component_size_target}"
+            )
+        min_edges = self.n_nodes - 1
+        max_edges = self.n_nodes * (self.n_nodes - 1) // 2
+        if not min_edges <= self.n_edges <= max_edges:
+            raise ValueError(
+                f"n_edges must be in [{min_edges}, {max_edges}], got {self.n_edges}"
+            )
+        if not 0.0 < self.intra_edge_fraction < 1.0:
+            raise ValueError(
+                f"intra_edge_fraction must be in (0, 1), got {self.intra_edge_fraction}"
+            )
+
+    @property
+    def mean_cluster_size(self) -> int:
+        """Target mean size of tightly coupled clusters."""
+        return max(3, round(self.n_nodes**self.cluster_size_exponent))
+
+    @property
+    def component_count(self) -> int:
+        """Number of application components the graph will contain."""
+        return max(1, self.n_nodes // self.component_size_target)
+
+
+def paper_network_configs(seed: int = 0) -> list[NetgenConfig]:
+    """The five networks of Table I (same node and edge counts)."""
+    sizes = [(250, 1214), (500, 2643), (1000, 4912), (2000, 9578), (5000, 40243)]
+    return [
+        NetgenConfig(n_nodes=n, n_edges=m, seed=seed + index)
+        for index, (n, m) in enumerate(sizes)
+    ]
+
+
+def netgen_graph(config: NetgenConfig) -> WeightedGraph:
+    """Generate one random clustered multi-component graph per *config*.
+
+    Construction, per component:
+
+    1. the component's nodes are partitioned into clusters (geometric
+       size spread around the config's mean, minimum 2);
+    2. each cluster gets a random spanning tree of heavy intra edges;
+    3. clusters are chained by light inter edges so the component is
+       connected;
+    4. the component's share of the remaining edge budget is split
+       between extra intra edges (``intra_edge_fraction``) and extra
+       inter-cluster edges, all randomly placed without parallels.
+
+    Components are mutually disconnected (the paper's component-boundary
+    structure).  The exact total edge count is honoured.
+    """
+    rng = RandomSource(config.seed).spawn("netgen", config.n_nodes, config.n_edges)
+    graph = WeightedGraph()
+    for i in range(config.n_nodes):
+        graph.add_node(i, weight=rng.uniform(*config.node_weight_range))
+
+    components = _partition_nodes(config.n_nodes, config.component_count, rng)
+    budgets = _edge_budgets(components, config.n_edges)
+    for component, budget in zip(components, budgets):
+        _generate_component(graph, component, budget, config, rng)
+    _fill_to_exact_count(graph, components, config, rng)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _partition_nodes(
+    n_nodes: int, n_components: int, rng: RandomSource
+) -> list[list[int]]:
+    """Split node ids into contiguous components of near-equal size."""
+    n_components = max(1, min(n_components, n_nodes // 4))
+    base, extra = divmod(n_nodes, n_components)
+    components: list[list[int]] = []
+    start = 0
+    for i in range(n_components):
+        size = base + (1 if i < extra else 0)
+        components.append(list(range(start, start + size)))
+        start += size
+    return components
+
+
+def _edge_budgets(components: list[list[int]], n_edges: int) -> list[int]:
+    """Distribute the edge budget proportionally to component size."""
+    total_nodes = sum(len(c) for c in components)
+    budgets = [int(n_edges * len(c) / total_nodes) for c in components]
+    # Hand leftover edges to the largest components first.
+    leftover = n_edges - sum(budgets)
+    order = sorted(range(len(components)), key=lambda i: -len(components[i]))
+    for i in range(leftover):
+        budgets[order[i % len(order)]] += 1
+    # Clamp each budget into the component's feasible range.
+    for i, component in enumerate(components):
+        size = len(component)
+        budgets[i] = max(size - 1, min(budgets[i], size * (size - 1) // 2))
+    return budgets
+
+
+def _partition_into_clusters(
+    nodes: list[int], mean: int, rng: RandomSource
+) -> list[list[int]]:
+    """Split a component's nodes into clusters of varying size."""
+    clusters: list[list[int]] = []
+    start = 0
+    total = len(nodes)
+    while start < total:
+        size = max(2, round(rng.gauss(mean, mean / 3)))
+        size = min(size, total - start)
+        if total - start - size == 1:
+            size += 1  # avoid a trailing singleton cluster
+        clusters.append(nodes[start : start + size])
+        start += size
+    return clusters
+
+
+def _generate_component(
+    graph: WeightedGraph,
+    nodes: list[int],
+    edge_budget: int,
+    config: NetgenConfig,
+    rng: RandomSource,
+) -> None:
+    """Build one connected clustered component with ~edge_budget edges."""
+    clusters = _partition_into_clusters(nodes, config.mean_cluster_size, rng)
+    edges_before = graph.edge_count
+
+    # Intra-cluster spanning trees (heavy edges).
+    for cluster in clusters:
+        for position in range(1, len(cluster)):
+            u = cluster[position]
+            v = cluster[rng.randint(0, position - 1)]
+            graph.add_edge(u, v, weight=rng.uniform(*config.intra_weight_range))
+
+    # Chain clusters together (light edges) so the component is connected.
+    for i in range(1, len(clusters)):
+        u = rng.choice(clusters[i - 1])
+        v = rng.choice(clusters[i])
+        graph.add_edge(u, v, weight=rng.uniform(*config.inter_weight_range))
+
+    # Spend the remaining budget inside this component.
+    used = graph.edge_count - edges_before
+    remaining = max(0, edge_budget - used)
+    extra_intra = int(remaining * config.intra_edge_fraction)
+    _add_intra_edges(graph, clusters, extra_intra, config, rng)
+    used = graph.edge_count - edges_before
+    _add_inter_edges(graph, clusters, edge_budget - used, config, rng)
+
+
+def _add_intra_edges(
+    graph: WeightedGraph,
+    clusters: list[list[int]],
+    budget: int,
+    config: NetgenConfig,
+    rng: RandomSource,
+) -> None:
+    """Randomly add up to *budget* extra heavy edges inside clusters."""
+    eligible = [c for c in clusters if len(c) >= 3]
+    if not eligible or budget <= 0:
+        return
+    attempts = budget * 20
+    added = 0
+    while added < budget and attempts > 0:
+        attempts -= 1
+        cluster = rng.choice(eligible)
+        u, v = rng.sample(cluster, 2)
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, weight=rng.uniform(*config.intra_weight_range))
+        added += 1
+
+
+def _add_inter_edges(
+    graph: WeightedGraph,
+    clusters: list[list[int]],
+    budget: int,
+    config: NetgenConfig,
+    rng: RandomSource,
+) -> None:
+    """Randomly add up to *budget* light edges between clusters."""
+    if len(clusters) < 2 or budget <= 0:
+        return
+    attempts = budget * 20
+    added = 0
+    while added < budget and attempts > 0:
+        attempts -= 1
+        i, j = rng.sample(range(len(clusters)), 2)
+        u = rng.choice(clusters[i])
+        v = rng.choice(clusters[j])
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, weight=rng.uniform(*config.inter_weight_range))
+        added += 1
+
+
+def _fill_to_exact_count(
+    graph: WeightedGraph,
+    components: list[list[int]],
+    config: NetgenConfig,
+    rng: RandomSource,
+) -> None:
+    """Top up with light intra-component edges to the exact edge count."""
+    attempts = (config.n_edges - graph.edge_count) * 50 + 100
+    eligible = [c for c in components if len(c) >= 2]
+    while graph.edge_count < config.n_edges and attempts > 0 and eligible:
+        attempts -= 1
+        component = rng.choice(eligible)
+        u, v = rng.sample(component, 2)
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, weight=rng.uniform(*config.inter_weight_range))
+    if graph.edge_count < config.n_edges:
+        for component in eligible:
+            for idx_u in range(len(component)):
+                for idx_v in range(idx_u + 1, len(component)):
+                    if graph.edge_count >= config.n_edges:
+                        return
+                    u, v = component[idx_u], component[idx_v]
+                    if not graph.has_edge(u, v):
+                        graph.add_edge(
+                            u, v, weight=rng.uniform(*config.inter_weight_range)
+                        )

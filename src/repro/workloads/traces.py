@@ -1,0 +1,111 @@
+"""Workload persistence: save and reload complete experiment scenarios.
+
+An experiment campaign is only reproducible if its workloads survive the
+process.  A *trace* bundles everything a run consumed — the per-user call
+graphs, the device/server parameters, the user→application mapping — as
+one JSON document; ``load_trace`` reconstructs an identical
+:class:`~repro.mec.system.MECSystem` ready to plan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+from repro.workloads.multiuser import MultiUserWorkload
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _call_graph_to_dict(fcg: FunctionCallGraph) -> dict[str, Any]:
+    return {
+        "app_name": fcg.app_name,
+        "functions": [
+            {
+                "name": info.name,
+                "computation": info.computation,
+                "component": info.component,
+                "offloadable": info.offloadable,
+            }
+            for info in (fcg.info(name) for name in fcg.functions())
+        ],
+        "flows": [
+            {"u": u, "v": v, "amount": w} for u, v, w in fcg.graph.edges()
+        ],
+    }
+
+
+def _call_graph_from_dict(payload: dict[str, Any]) -> FunctionCallGraph:
+    fcg = FunctionCallGraph(payload["app_name"])
+    for entry in payload["functions"]:
+        fcg.add_function(
+            entry["name"],
+            computation=entry["computation"],
+            component=entry.get("component", "main"),
+            offloadable=entry.get("offloadable", True),
+        )
+    for flow in payload["flows"]:
+        fcg.add_data_flow(flow["u"], flow["v"], flow["amount"])
+    return fcg
+
+
+def save_trace(workload: MultiUserWorkload, path: str | Path) -> None:
+    """Serialise *workload* to *path* as one JSON document."""
+    system = workload.system
+    payload = {
+        "version": TRACE_FORMAT_VERSION,
+        "server_capacity": system.server.total_capacity,
+        "graph_pool": [_call_graph_to_dict(g) for g in workload.distinct_graphs],
+        "users": [
+            {
+                "user_id": user.user_id,
+                "graph_index": workload.user_graph_index[user.user_id],
+                "device_profile": asdict(user.device.profile),
+            }
+            for user in system.users
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: str | Path) -> MultiUserWorkload:
+    """Reconstruct a workload previously written by :func:`save_trace`.
+
+    The reconstructed workload preserves graph-pool sharing: users with
+    the same ``graph_index`` reference the *same* call-graph object, so
+    planner caching behaves exactly as it did in the original run.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {version!r} (expected {TRACE_FORMAT_VERSION})"
+        )
+
+    pool = [_call_graph_from_dict(entry) for entry in payload["graph_pool"]]
+    users: list[UserContext] = []
+    call_graphs: dict[str, FunctionCallGraph] = {}
+    user_graph_index: dict[str, int] = {}
+    for entry in payload["users"]:
+        user_id = entry["user_id"]
+        index = entry["graph_index"]
+        if not 0 <= index < len(pool):
+            raise ValueError(f"user {user_id!r} references missing pool graph {index}")
+        profile = DeviceProfile(**entry["device_profile"])
+        device = MobileDevice(user_id, profile=profile)
+        users.append(UserContext(device, pool[index]))
+        call_graphs[user_id] = pool[index]
+        user_graph_index[user_id] = index
+
+    system = MECSystem(EdgeServer(payload["server_capacity"]), users)
+    return MultiUserWorkload(
+        system=system,
+        call_graphs=call_graphs,
+        distinct_graphs=pool,
+        user_graph_index=user_graph_index,
+    )

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.graphs.generators import path_graph, two_cluster_graph
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, UserContext
+
+
+@pytest.fixture
+def triangle() -> WeightedGraph:
+    """A weighted triangle: the smallest graph with a non-trivial cut."""
+    graph = WeightedGraph()
+    for name, weight in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+        graph.add_node(name, weight=weight)
+    graph.add_edge("a", "b", weight=1.0)
+    graph.add_edge("b", "c", weight=2.0)
+    graph.add_edge("a", "c", weight=3.0)
+    return graph
+
+
+@pytest.fixture
+def clusters() -> WeightedGraph:
+    """Two dense clusters joined by a light bridge (min cut = bridge)."""
+    return two_cluster_graph(4, intra_weight=10.0, bridge_weight=1.0)
+
+
+@pytest.fixture
+def chain() -> WeightedGraph:
+    """A 6-node path graph."""
+    return path_graph(6)
+
+
+@pytest.fixture
+def small_call_graph() -> FunctionCallGraph:
+    """Figure 1's example program: f1 calls f2/f3, f2 calls f4/f5."""
+    fcg = FunctionCallGraph("figure1")
+    fcg.add_function("f1", computation=5.0, offloadable=False)
+    for name, computation in (("f2", 8.0), ("f3", 6.0), ("f4", 9.0), ("f5", 4.0)):
+        fcg.add_function(name, computation=computation)
+    fcg.add_data_flow("f1", "f2", 10.0)
+    fcg.add_data_flow("f1", "f3", 8.0)
+    fcg.add_data_flow("f2", "f4", 12.0)
+    fcg.add_data_flow("f2", "f5", 7.0)
+    return fcg
+
+
+@pytest.fixture
+def device_profile() -> DeviceProfile:
+    """The tuned experiment device profile."""
+    return DeviceProfile(
+        compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+    )
+
+
+@pytest.fixture
+def single_user_system(small_call_graph, device_profile) -> tuple[MECSystem, dict]:
+    """One-user MEC system around the Figure 1 call graph."""
+    device = MobileDevice("u1", profile=device_profile)
+    system = MECSystem(
+        EdgeServer(total_capacity=200.0), [UserContext(device, small_call_graph)]
+    )
+    return system, {"u1": small_call_graph}

@@ -1,0 +1,199 @@
+"""Tests for the bytecode IR, static extractor and offloadability rules."""
+
+import pytest
+
+from repro.callgraph.bytecode import (
+    ApplicationBinary,
+    FunctionBytecode,
+    Instruction,
+    Opcode,
+)
+from repro.callgraph.extractor import extract_call_graph
+from repro.callgraph.model import FunctionCallGraph
+from repro.callgraph.offloadability import OffloadabilityPolicy, classify_offloadability
+
+
+def figure1_binary() -> ApplicationBinary:
+    """The paper's Figure 1 program: f1 calls f2 (|a|=10) and f3 (|b|=8);
+    f2 calls f4 (|c|=12) and f5 (|d|=7)."""
+    binary = ApplicationBinary(name="figure1", entry_point="f1")
+    f1 = binary.define("f1")
+    f1.compute(5.0).call("f2", 0.0).call("f3", 0.0)
+    f2 = binary.define("f2")
+    f2.compute(8.0).call("f4", 0.0).call("f5", 0.0).return_data(10.0)
+    binary.define("f3").compute(6.0).return_data(8.0)
+    binary.define("f4").compute(9.0).return_data(12.0)
+    binary.define("f5").compute(4.0).return_data(7.0)
+    return binary
+
+
+class TestInstruction:
+    def test_call_requires_target(self):
+        with pytest.raises(ValueError, match="target"):
+            Instruction(Opcode.CALL, 5.0)
+
+    def test_non_call_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.COMPUTE, 5.0, target="f2")
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.COMPUTE, -1.0)
+
+    def test_device_binding_flags(self):
+        assert Instruction(Opcode.SENSOR_READ).touches_device
+        assert Instruction(Opcode.IO_ACCESS).touches_device
+        assert Instruction(Opcode.UI_RENDER).touches_device
+        assert not Instruction(Opcode.COMPUTE, 1.0).touches_device
+
+
+class TestBinary:
+    def test_builder_chain(self):
+        fn = FunctionBytecode("f")
+        fn.compute(3.0).call("g", 2.0).return_data(1.0).sensor_read()
+        assert fn.total_compute == 3.0
+        assert fn.call_targets() == ["g"]
+        assert fn.touches_device
+
+    def test_duplicate_function_rejected(self):
+        binary = ApplicationBinary("app")
+        binary.define("f")
+        with pytest.raises(ValueError, match="already defined"):
+            binary.define("f")
+
+    def test_validate_dangling_call(self):
+        binary = ApplicationBinary("app", entry_point="f")
+        binary.define("f").call("ghost", 1.0)
+        with pytest.raises(ValueError, match="undefined function"):
+            binary.validate()
+
+    def test_validate_missing_entry(self):
+        binary = ApplicationBinary("app", entry_point="nope")
+        binary.define("f")
+        with pytest.raises(ValueError, match="entry point"):
+            binary.validate()
+
+
+class TestExtractor:
+    def test_figure1_edges(self):
+        fcg = extract_call_graph(figure1_binary())
+        g = fcg.graph
+        # Return payloads map to Figure 1's edge weights.
+        assert g.edge_weight("f1", "f2") == pytest.approx(10.0)
+        assert g.edge_weight("f1", "f3") == pytest.approx(8.0)
+        assert g.edge_weight("f2", "f4") == pytest.approx(12.0)
+        assert g.edge_weight("f2", "f5") == pytest.approx(7.0)
+        assert g.edge_count == 4
+
+    def test_node_weights_are_compute(self):
+        fcg = extract_call_graph(figure1_binary())
+        assert fcg.info("f2").computation == 8.0
+        assert fcg.graph.node_weight("f4") == 9.0
+
+    def test_call_payload_accumulates_with_return(self):
+        binary = ApplicationBinary("app", entry_point="main")
+        binary.define("main").call("w", 5.0).call("w", 5.0)
+        binary.define("w").compute(1.0).return_data(6.0)
+        fcg = extract_call_graph(binary)
+        # Two call payloads (10) + return 6 split over 2 calls, both to main.
+        assert fcg.graph.edge_weight("main", "w") == pytest.approx(16.0)
+
+    def test_return_split_between_two_callers(self):
+        binary = ApplicationBinary("app", entry_point="a")
+        binary.define("a").call("w", 1.0).call("b", 0.0)
+        binary.define("b").call("w", 1.0)
+        binary.define("w").compute(1.0).return_data(8.0)
+        fcg = extract_call_graph(binary)
+        assert fcg.graph.edge_weight("a", "w") == pytest.approx(1.0 + 4.0)
+        assert fcg.graph.edge_weight("b", "w") == pytest.approx(1.0 + 4.0)
+
+    def test_entry_point_pinned_local(self):
+        fcg = extract_call_graph(figure1_binary())
+        assert not fcg.info("f1").offloadable
+        assert fcg.info("f2").offloadable
+
+    def test_invalid_binary_rejected(self):
+        binary = ApplicationBinary("app", entry_point="f")
+        binary.define("f").call("ghost", 1.0)
+        with pytest.raises(ValueError):
+            extract_call_graph(binary)
+
+    def test_recursive_self_call_no_edge(self):
+        binary = ApplicationBinary("app", entry_point="r")
+        binary.define("r").compute(2.0).call("r", 5.0)
+        fcg = extract_call_graph(binary)
+        assert fcg.graph.edge_count == 0
+
+
+class TestOffloadability:
+    def test_sensor_pins_function(self):
+        binary = ApplicationBinary("app", entry_point="main")
+        binary.define("main").compute(1.0)
+        binary.define("gps").sensor_read().compute(1.0)
+        result = classify_offloadability(binary)
+        assert not result["gps"]
+        assert not result["main"]  # entry point
+
+    def test_policy_disable_entry_pin(self):
+        binary = ApplicationBinary("app", entry_point="main")
+        binary.define("main").compute(1.0)
+        policy = OffloadabilityPolicy(pin_entry_point=False)
+        assert classify_offloadability(binary, policy)["main"]
+
+    def test_explicit_pin_list(self):
+        binary = ApplicationBinary("app", entry_point="main")
+        binary.define("main").compute(1.0)
+        binary.define("hot").compute(1.0)
+        policy = OffloadabilityPolicy(pinned_names=frozenset({"hot"}))
+        assert not classify_offloadability(binary, policy)["hot"]
+
+    def test_traffic_ratio_pin(self):
+        binary = ApplicationBinary("app", entry_point="main")
+        binary.define("main").compute(1.0).call("chatty", 100.0)
+        binary.define("chatty").compute(1.0)
+        policy = OffloadabilityPolicy(max_traffic_ratio=10.0)
+        assert not classify_offloadability(binary, policy)["chatty"]
+        loose = OffloadabilityPolicy(max_traffic_ratio=1000.0)
+        assert classify_offloadability(binary, loose)["chatty"]
+
+
+class TestModel:
+    def test_split_sets(self, small_call_graph):
+        assert small_call_graph.unoffloadable_functions() == ["f1"]
+        assert sorted(small_call_graph.offloadable_functions()) == [
+            "f2",
+            "f3",
+            "f4",
+            "f5",
+        ]
+
+    def test_offloadable_subgraph_removes_pinned(self, small_call_graph):
+        sub = small_call_graph.offloadable_subgraph()
+        assert not sub.has_node("f1")
+        assert sub.node_count == 4
+        # f1's edges vanish; f2-f4 and f2-f5 remain.
+        assert sub.edge_count == 2
+
+    def test_local_anchor_traffic(self, small_call_graph):
+        # f2 talks to pinned f1 with weight 10; f3 with 8.
+        assert small_call_graph.local_anchor_traffic({"f2"}) == 10.0
+        assert small_call_graph.local_anchor_traffic({"f2", "f3"}) == 18.0
+        assert small_call_graph.local_anchor_traffic({"f4"}) == 0.0
+
+    def test_duplicate_function_rejected(self):
+        fcg = FunctionCallGraph()
+        fcg.add_function("f", computation=1.0)
+        with pytest.raises(ValueError):
+            fcg.add_function("f", computation=2.0)
+
+    def test_components_listing(self):
+        fcg = FunctionCallGraph()
+        fcg.add_function("a", 1.0, component="ui")
+        fcg.add_function("b", 1.0, component="worker")
+        fcg.add_function("c", 1.0, component="ui")
+        assert fcg.components() == ["ui", "worker"]
+        assert fcg.component_members("ui") == ["a", "c"]
+
+    def test_totals(self, small_call_graph):
+        assert small_call_graph.total_computation() == 32.0
+        assert small_call_graph.total_communication() == 37.0

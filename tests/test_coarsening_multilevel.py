@@ -1,0 +1,149 @@
+"""Tests for heavy-edge coarsening and multilevel KL."""
+
+import pytest
+
+from repro.graphs.coarsening import (
+    coarsen_graph,
+    coarsen_once,
+    coarsening_as_compression,
+    heavy_edge_matching,
+)
+from repro.graphs.generators import (
+    path_graph,
+    random_connected_graph,
+    two_cluster_graph,
+)
+from repro.graphs.validation import check_graph_invariants
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.partition.kernighan_lin import kernighan_lin_bisect
+from repro.partition.multilevel import multilevel_kl_bisect
+from repro.utils.rng import RandomSource
+
+
+class TestMatching:
+    def test_matching_is_symmetric_pairing(self):
+        g = random_connected_graph(20, 40, seed=1)
+        matching = heavy_edge_matching(g, RandomSource(1))
+        for node, partner in matching.items():
+            assert matching[partner] == node
+            assert node != partner
+            assert g.has_edge(node, partner)
+
+    def test_heavy_edges_preferred(self):
+        # Triangle with distinct weights: whichever node is visited first
+        # picks its heaviest neighbor, so the lightest edge (a-b) can
+        # never be the matched pair.
+        g = WeightedGraph()
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "c", weight=100.0)
+        g.add_edge("a", "c", weight=50.0)
+        for seed in range(10):
+            matching = heavy_edge_matching(g, RandomSource(seed))
+            assert matching, "triangle always yields one matched pair"
+            assert matching.get("a") != "b"
+
+    def test_isolated_nodes_unmatched(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        g.add_node("y")
+        assert heavy_edge_matching(g, RandomSource(0)) == {}
+
+
+class TestCoarsening:
+    def test_one_level_halves_roughly(self):
+        g = random_connected_graph(40, 100, seed=2)
+        level = coarsen_once(g, RandomSource(2))
+        assert level.graph.node_count <= g.node_count
+        assert level.graph.node_count >= g.node_count // 2
+        check_graph_invariants(level.graph)
+
+    def test_node_weight_conserved_per_level(self):
+        g = random_connected_graph(30, 70, seed=3)
+        level = coarsen_once(g, RandomSource(3))
+        assert level.graph.total_node_weight() == pytest.approx(g.total_node_weight())
+
+    def test_coarsen_to_target(self):
+        g = random_connected_graph(120, 300, seed=4)
+        levels = coarsen_graph(g, target_nodes=20, seed=4)
+        assert levels
+        assert levels[-1].graph.node_count <= max(20, 2 * 20)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            coarsen_graph(path_graph(4), target_nodes=0)
+
+    def test_as_compression_expand_roundtrip(self):
+        g = random_connected_graph(60, 150, seed=5)
+        compressed = coarsening_as_compression(g, target_nodes=10, seed=5)
+        covered: set = set()
+        for cluster in compressed.clusters:
+            assert cluster
+            assert not covered & cluster
+            covered |= cluster
+        assert covered == set(g.nodes())
+        assert compressed.graph.total_node_weight() == pytest.approx(
+            g.total_node_weight()
+        )
+
+    def test_as_compression_cut_realizable(self):
+        g = random_connected_graph(50, 120, seed=6)
+        compressed = coarsening_as_compression(g, target_nodes=8, seed=6)
+        supers = compressed.graph.node_list()
+        chosen = set(supers[: len(supers) // 2])
+        assert compressed.graph.cut_weight(chosen) == pytest.approx(
+            g.cut_weight(compressed.expand(chosen))
+        )
+
+    def test_small_graph_passthrough(self):
+        g = path_graph(3)
+        compressed = coarsening_as_compression(g, target_nodes=10)
+        assert compressed.graph.node_count == 3
+
+
+class TestMultilevelKL:
+    def test_partitions_cover_graph(self):
+        g = random_connected_graph(60, 140, seed=7)
+        result = multilevel_kl_bisect(g, target_nodes=12, seed=7)
+        assert result.part_one | result.part_two == set(g.nodes())
+        assert not result.part_one & result.part_two
+        assert result.cut_value == pytest.approx(g.cut_weight(result.part_one))
+
+    def test_finds_cluster_bridge(self):
+        g = two_cluster_graph(10, intra_weight=10.0, bridge_weight=1.0)
+        result = multilevel_kl_bisect(g, target_nodes=4, seed=8)
+        assert result.cut_value == pytest.approx(1.0)
+
+    def test_competitive_with_flat_kl(self):
+        """On clustered graphs the multilevel approach must match or beat
+        flat KL (that's its whole point)."""
+        wins = 0
+        for seed in range(5):
+            g = two_cluster_graph(8, intra_weight=10.0, bridge_weight=1.0)
+            # Perturb with random extra edges to roughen the landscape.
+            extra = random_connected_graph(16, 20, seed=seed)
+            for u, v, w in extra.edges():
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v, weight=0.5)
+            flat = kernighan_lin_bisect(g, seed=seed)
+            multi = multilevel_kl_bisect(g, target_nodes=4, seed=seed)
+            if multi.cut_value <= flat.cut_value + 1e-9:
+                wins += 1
+        assert wins >= 3
+
+    def test_single_node(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        result = multilevel_kl_bisect(g)
+        assert result.part_one == {"x"}
+        assert result.cut_value == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multilevel_kl_bisect(WeightedGraph())
+
+    def test_levels_reported(self):
+        g = random_connected_graph(100, 250, seed=9)
+        result = multilevel_kl_bisect(g, target_nodes=10, seed=9)
+        assert result.levels >= 2

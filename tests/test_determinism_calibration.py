@@ -1,0 +1,147 @@
+"""Determinism guarantees and workload calibration tests.
+
+Determinism is a core library promise (every stochastic component draws
+through seeded streams); calibration checks that NETGEN workloads look
+like the function data-flow graphs the paper describes.
+"""
+
+import pytest
+
+from repro.core import make_planner
+from repro.experiments.figures import _Averager
+from repro.graphs.metrics import (
+    average_clustering,
+    average_degree,
+    density,
+    edge_weight_summary,
+)
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.system import MECSystem, SystemConsumption, UserContext
+from repro.mec.energy import ConsumptionBreakdown
+from repro.workloads.applications import (
+    call_graph_from_weighted_graph,
+    synthesize_application,
+)
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import quick_profile
+
+
+class TestPipelineDeterminism:
+    @pytest.mark.parametrize("strategy", ["spectral", "maxflow", "kl", "multilevel-kl"])
+    def test_plan_system_is_reproducible(self, strategy):
+        def run():
+            app = synthesize_application("det", n_functions=50, seed=31)
+            system = MECSystem(
+                EdgeServer(300.0), [UserContext(MobileDevice("u1"), app)]
+            )
+            result = make_planner(strategy).plan_system(system, {"u1": app})
+            return (
+                result.consumption.energy,
+                result.consumption.time,
+                tuple(sorted(result.scheme.remote_for("u1"))),
+            )
+
+        assert run() == run()
+
+    def test_multiuser_workload_reproducible(self):
+        profile = quick_profile()
+        a = build_mec_system(5, profile, graph_size=60)
+        b = build_mec_system(5, profile, graph_size=60)
+        for graph_a, graph_b in zip(a.distinct_graphs, b.distinct_graphs):
+            assert graph_a.total_communication() == pytest.approx(
+                graph_b.total_communication()
+            )
+            assert sorted(graph_a.functions()) == sorted(graph_b.functions())
+
+    def test_full_experiment_row_reproducible(self):
+        from repro.experiments.figures import run_single_user_energy_experiment
+        from repro.workloads.profiles import ExperimentProfile
+
+        tiny = ExperimentProfile(
+            name="tiny", graph_sizes=(60,), user_counts=(2,), multiuser_graph_size=60
+        )
+        first = run_single_user_energy_experiment(tiny, repetitions=1)
+        second = run_single_user_energy_experiment(tiny, repetitions=1)
+        for row_a, row_b in zip(first, second):
+            assert row_a.total_energy == pytest.approx(row_b.total_energy)
+            assert row_a.offloaded_functions == row_b.offloaded_functions
+
+
+class TestNetgenCalibration:
+    """Generated graphs must resemble function data flow graphs: sparse,
+    locally clustered, bimodal edge weights."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return netgen_graph(NetgenConfig(n_nodes=500, n_edges=2643, seed=11))
+
+    def test_sparsity(self, graph):
+        assert density(graph) < 0.05  # call graphs are very sparse
+
+    def test_degree_in_call_graph_range(self, graph):
+        avg = average_degree(graph)
+        assert 4.0 <= avg <= 15.0  # Table I implies ~5-16 edges/node
+
+    def test_local_clustering_present(self, graph):
+        # Tightly coupled clusters create triangles; random sparse graphs
+        # of this density would sit near 0.01.
+        assert average_clustering(graph) > 0.1
+
+    def test_edge_weights_bimodal(self, graph):
+        summary = edge_weight_summary(graph)
+        config = NetgenConfig(n_nodes=500, n_edges=2643, seed=11)
+        # Mean sits between the light and heavy bands, far from both.
+        assert config.inter_weight_range[1] < summary.mean < config.intra_weight_range[0] * 1.5
+
+    def test_unoffloadable_sampling_deterministic(self, graph):
+        a = call_graph_from_weighted_graph(graph, unoffloadable_fraction=0.1, seed=3)
+        b = call_graph_from_weighted_graph(graph, unoffloadable_fraction=0.1, seed=3)
+        assert a.unoffloadable_functions() == b.unoffloadable_functions()
+        c = call_graph_from_weighted_graph(graph, unoffloadable_fraction=0.1, seed=4)
+        assert a.unoffloadable_functions() != c.unoffloadable_functions()
+
+
+class TestAverager:
+    def make_consumption(self, local: float, tx: float) -> SystemConsumption:
+        consumption = SystemConsumption()
+        consumption.per_user["u"] = ConsumptionBreakdown(
+            local_energy=local,
+            transmission_energy=tx,
+            local_time=1.0,
+            remote_time=1.0,
+            transmission_time=0.0,
+            waiting_time=0.0,
+        )
+        return consumption
+
+    def test_mean_over_repetitions(self):
+        averager = _Averager()
+        averager.add("alg", 100, self.make_consumption(10.0, 2.0), offloaded=5)
+        averager.add("alg", 100, self.make_consumption(20.0, 4.0), offloaded=7)
+        rows = averager.rows(("alg",), (100,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.local_energy == pytest.approx(15.0)
+        assert row.transmission_energy == pytest.approx(3.0)
+        assert row.offloaded_functions == pytest.approx(6.0)
+        assert row.repetitions == 2
+
+    def test_rows_ordered_by_scale_then_algorithm(self):
+        averager = _Averager()
+        for scale in (200, 100):
+            for algorithm in ("b", "a"):
+                averager.add(algorithm, scale, self.make_consumption(1.0, 1.0), 0)
+        rows = averager.rows(("a", "b"), (100, 200))
+        assert [(r.scale, r.algorithm) for r in rows] == [
+            (100, "a"),
+            (100, "b"),
+            (200, "a"),
+            (200, "b"),
+        ]
+
+    def test_missing_combination_skipped(self):
+        averager = _Averager()
+        averager.add("a", 100, self.make_consumption(1.0, 1.0), 0)
+        rows = averager.rows(("a", "ghost"), (100, 999))
+        assert len(rows) == 1

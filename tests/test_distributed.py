@@ -1,0 +1,203 @@
+"""Tests for the mini-Spark substrate: executors, cluster, RDD, matrices."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.executor import SerialExecutor, ThreadedExecutor
+from repro.distributed.matrix import BlockMatrix
+from repro.distributed.spark_spectral import DistributedFiedlerSolver
+from repro.graphs.generators import path_graph, random_connected_graph, two_cluster_graph
+from repro.graphs.laplacian import laplacian_matrix
+from repro.spectral.fiedler import FiedlerSolver
+
+
+class TestExecutors:
+    def test_serial_runs_in_order(self):
+        log: list[int] = []
+        tasks = [lambda i=i: log.append(i) or i for i in range(5)]
+        results = SerialExecutor().run_all(tasks)
+        assert results == [0, 1, 2, 3, 4]
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_threaded_preserves_result_order(self):
+        with ThreadedExecutor(workers=4) as executor:
+            results = executor.map(lambda x: x * x, range(20))
+        assert results == [x * x for x in range(20)]
+
+    def test_threaded_propagates_exceptions(self):
+        def boom(x):
+            raise RuntimeError("task failed")
+
+        with ThreadedExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError, match="task failed"):
+                executor.map(boom, [1])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(workers=0)
+
+    def test_close_idempotent(self):
+        executor = ThreadedExecutor(workers=2)
+        executor.map(lambda x: x, [1, 2])
+        executor.close()
+        executor.close()
+
+
+class TestCluster:
+    def test_stats_count_stages_and_tasks(self):
+        cluster = LocalCluster(workers=2)
+        cluster.run_stage([lambda: 1, lambda: 2, lambda: 3])
+        cluster.run_stage([lambda: 4])
+        assert cluster.stats.stages == 2
+        assert cluster.stats.tasks == 4
+
+    def test_single_worker_uses_serial(self):
+        cluster = LocalCluster(workers=1)
+        assert cluster.run_stage([lambda: "ok"]) == ["ok"]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            LocalCluster(workers=0)
+
+    def test_context_manager(self):
+        with LocalCluster(workers=2) as cluster:
+            assert cluster.run_stage([lambda: 5]) == [5]
+
+
+class TestRDD:
+    def test_parallelize_collect_roundtrip(self):
+        cluster = LocalCluster(workers=2)
+        data = list(range(17))
+        assert cluster.parallelize(data, partitions=4).collect() == data
+
+    def test_partition_sizes_near_equal(self):
+        cluster = LocalCluster(workers=2)
+        rdd = cluster.parallelize(range(10), partitions=3)
+        assert rdd.partition_count == 3
+
+    def test_map_filter_chain(self):
+        cluster = LocalCluster(workers=2)
+        result = (
+            cluster.parallelize(range(10), partitions=3)
+            .map(lambda x: x * 2)
+            .filter(lambda x: x % 4 == 0)
+            .collect()
+        )
+        assert result == [0, 4, 8, 12, 16]
+
+    def test_flat_map(self):
+        cluster = LocalCluster(workers=2)
+        result = cluster.parallelize([1, 2, 3], partitions=2).flat_map(
+            lambda x: [x] * x
+        ).collect()
+        assert result == [1, 2, 2, 3, 3, 3]
+
+    def test_reduce_and_sum(self):
+        cluster = LocalCluster(workers=2)
+        rdd = cluster.parallelize(range(1, 101), partitions=5)
+        assert rdd.reduce(lambda a, b: a + b) == 5050
+        assert cluster.parallelize(range(1, 11), partitions=3).sum() == 55
+
+    def test_reduce_empty_rejected(self):
+        cluster = LocalCluster(workers=1)
+        with pytest.raises(ValueError):
+            cluster.parallelize([], partitions=1).reduce(lambda a, b: a + b)
+
+    def test_count(self):
+        cluster = LocalCluster(workers=2)
+        assert cluster.parallelize(range(42), partitions=4).count() == 42
+
+    def test_laziness(self):
+        cluster = LocalCluster(workers=1)
+        calls: list[int] = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        rdd = cluster.parallelize([1, 2, 3], partitions=1).map(record)
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestBlockMatrix:
+    def test_matvec_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((13, 13))
+        vector = rng.standard_normal(13)
+        with LocalCluster(workers=2) as cluster:
+            blocks = BlockMatrix.from_dense(cluster, matrix, block_rows=4)
+            assert blocks.block_count == 4
+            assert np.allclose(blocks.matvec(vector), matrix @ vector)
+
+    def test_matmul_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((9, 6))
+        b = rng.standard_normal((6, 4))
+        with LocalCluster(workers=2) as cluster:
+            blocks = BlockMatrix.from_dense(cluster, a, block_rows=2)
+            assert np.allclose(blocks.matmul(b), a @ b)
+
+    def test_shape_and_dense_roundtrip(self):
+        matrix = np.arange(12.0).reshape(4, 3)
+        with LocalCluster(workers=1) as cluster:
+            blocks = BlockMatrix.from_dense(cluster, matrix, block_rows=3)
+            assert blocks.shape == (4, 3)
+            assert np.allclose(blocks.to_dense(), matrix)
+
+    def test_dimension_checks(self):
+        with LocalCluster(workers=1) as cluster:
+            blocks = BlockMatrix.from_dense(cluster, np.eye(3))
+            with pytest.raises(ValueError):
+                blocks.matvec(np.zeros(5))
+            with pytest.raises(ValueError):
+                blocks.matmul(np.zeros((5, 2)))
+            with pytest.raises(ValueError):
+                BlockMatrix.from_dense(cluster, np.zeros(3))  # 1-D
+
+    def test_tasks_actually_distributed(self):
+        with LocalCluster(workers=2) as cluster:
+            blocks = BlockMatrix.from_dense(cluster, np.eye(8), block_rows=2)
+            blocks.matvec(np.ones(8))
+            assert cluster.stats.tasks == 4
+
+
+class TestDistributedFiedler:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_dense_solver(self, seed):
+        g = random_connected_graph(16, 30, seed=seed)
+        expected = FiedlerSolver(method="dense").solve(g)
+        with LocalCluster(workers=2) as cluster:
+            result = DistributedFiedlerSolver(cluster).solve(g)
+        assert result.value == pytest.approx(expected.value, rel=1e-6, abs=1e-8)
+        assert result.method == "distributed-lanczos"
+
+    def test_sign_pattern_separates_clusters(self):
+        g = two_cluster_graph(5, intra_weight=10.0, bridge_weight=0.5)
+        with LocalCluster(workers=2) as cluster:
+            result = DistributedFiedlerSolver(cluster).solve(g)
+        signs_left = {result.entry(n) >= 0 for n in range(5)}
+        signs_right = {result.entry(n) >= 0 for n in range(5, 10)}
+        assert signs_left != signs_right
+
+    def test_single_node(self):
+        g = path_graph(1)
+        with LocalCluster(workers=1) as cluster:
+            result = DistributedFiedlerSolver(cluster).solve(g)
+        assert result.value == 0.0
+
+    def test_cluster_work_recorded(self):
+        g = random_connected_graph(20, 40, seed=5)
+        with LocalCluster(workers=2) as cluster:
+            DistributedFiedlerSolver(cluster).solve(g)
+            assert cluster.stats.stages > 0
+
+    def test_verify_laplacian_eigen_residual(self):
+        g = random_connected_graph(12, 24, seed=6)
+        lap = laplacian_matrix(g)
+        with LocalCluster(workers=2) as cluster:
+            result = DistributedFiedlerSolver(cluster).solve(g)
+        residual = lap @ result.vector - result.value * result.vector
+        assert np.linalg.norm(residual) < 1e-6

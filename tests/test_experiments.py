@@ -1,0 +1,138 @@
+"""Tests for the experiment harness (Table I, Figs. 3-9 machinery)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    run_multiuser_energy_experiment,
+    run_single_user_energy_experiment,
+)
+from repro.experiments.reporting import normalize_rows, render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.timing import run_timing_experiment
+from repro.workloads.netgen import NetgenConfig
+from repro.workloads.profiles import ExperimentProfile
+
+TINY = ExperimentProfile(
+    name="tiny",
+    graph_sizes=(60, 120),
+    user_counts=(2, 4),
+    multiuser_graph_size=60,
+    distinct_graphs=2,
+)
+
+
+class TestTable1:
+    def test_rows_shape(self):
+        configs = [
+            NetgenConfig(n_nodes=60, n_edges=250, seed=0),
+            NetgenConfig(n_nodes=120, n_edges=500, seed=1),
+        ]
+        rows = run_table1(configs)
+        assert [r.network for r in rows] == ["Network1", "Network2"]
+        assert rows[0].function_number == 60
+        assert rows[0].edge_number == 250
+
+    def test_compression_reduces_scale(self):
+        configs = [NetgenConfig(n_nodes=120, n_edges=500, seed=2)]
+        row = run_table1(configs)[0]
+        assert row.function_number_after < row.function_number
+        assert row.edge_number_after < row.edge_number
+        assert row.node_reduction > 0.5  # clustered workloads compress well
+
+    def test_ratio_grows_with_size(self):
+        """Table I: "with the increase of graph size, the compression
+        ratio also increases" (checked on two quick sizes)."""
+        configs = [
+            NetgenConfig(n_nodes=100, n_edges=420, seed=3),
+            NetgenConfig(n_nodes=1000, n_edges=4912, seed=3),
+        ]
+        rows = run_table1(configs)
+        ratio_small = rows[0].function_number / rows[0].function_number_after
+        ratio_large = rows[1].function_number / rows[1].function_number_after
+        assert ratio_large > ratio_small
+
+
+class TestEnergyExperiments:
+    def test_single_user_rows_complete(self):
+        rows = run_single_user_energy_experiment(TINY, repetitions=1)
+        assert len(rows) == len(TINY.graph_sizes) * 3
+        for row in rows:
+            assert row.total_energy == pytest.approx(
+                row.local_energy + row.transmission_energy
+            )
+            assert row.total_energy > 0.0
+
+    def test_single_user_energy_grows_with_size(self):
+        rows = run_single_user_energy_experiment(TINY, repetitions=1)
+        by_alg = {}
+        for row in rows:
+            by_alg.setdefault(row.algorithm, []).append(row.total_energy)
+        for series in by_alg.values():
+            assert series[-1] > series[0]
+
+    def test_multiuser_rows_complete(self):
+        rows = run_multiuser_energy_experiment(TINY, repetitions=1)
+        assert len(rows) == len(TINY.user_counts) * 3
+        by_alg = {}
+        for row in rows:
+            by_alg.setdefault(row.algorithm, []).append(row.total_energy)
+        for series in by_alg.values():
+            assert series[-1] > series[0]  # grows with users
+
+    def test_repetitions_recorded(self):
+        rows = run_single_user_energy_experiment(
+            ExperimentProfile(
+                name="one", graph_sizes=(60,), user_counts=(2,), multiuser_graph_size=60
+            ),
+            repetitions=2,
+        )
+        assert all(row.repetitions == 2 for row in rows)
+
+    def test_algorithm_subset(self):
+        rows = run_single_user_energy_experiment(
+            TINY, algorithms=("spectral",), repetitions=1
+        )
+        assert {row.algorithm for row in rows} == {"spectral"}
+
+
+class TestTimingExperiment:
+    def test_all_series_present(self):
+        profile = ExperimentProfile(
+            name="timing", graph_sizes=(60,), user_counts=(2,), multiuser_graph_size=60
+        )
+        rows = run_timing_experiment(profile, repeats=1)
+        assert {row.algorithm for row in rows} == {
+            "spectral-power",
+            "maxflow",
+            "kl",
+            "spectral-spark",
+        }
+        for row in rows:
+            assert row.seconds > 0.0
+            assert row.repeats == 1
+
+    def test_unknown_series_rejected(self):
+        profile = ExperimentProfile(
+            name="timing", graph_sizes=(60,), user_counts=(2,), multiuser_graph_size=60
+        )
+        with pytest.raises(ValueError, match="unknown timing series"):
+            run_timing_experiment(profile, series=("warp-drive",))
+
+
+class TestReporting:
+    def test_normalize_by_max(self):
+        rows = [1.0, 2.0, 4.0]
+        normalized = normalize_rows(rows, lambda r: r)
+        assert normalized == {0: 0.25, 1: 0.5, 2: 1.0}
+
+    def test_normalize_all_zero(self):
+        assert normalize_rows([0.0, 0.0], lambda r: r) == {0: 0.0, 1: 0.0}
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["spectral", 0.123456], ["kl", 1.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.123" in text
+        assert len(lines) == 4  # header + rule + 2 rows

@@ -1,0 +1,164 @@
+"""End-to-end integration tests across the full pipeline.
+
+These run the complete paper pipeline — bytecode extraction, compression,
+cut, greedy scheme generation, energy evaluation — and verify system-wide
+invariants that no single module can check alone.
+"""
+
+import pytest
+
+from repro.callgraph.bytecode import ApplicationBinary
+from repro.callgraph.extractor import extract_call_graph
+from repro.core.baselines import make_planner
+from repro.distributed.cluster import LocalCluster
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.workloads.applications import (
+    call_graph_from_weighted_graph,
+    synthesize_application,
+)
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+
+
+def build_single_user(seed: int = 1, n_functions: int = 60):
+    app = synthesize_application("it-app", n_functions=n_functions, seed=seed)
+    profile = DeviceProfile(
+        compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+    )
+    device = MobileDevice("u1", profile=profile)
+    system = MECSystem(EdgeServer(total_capacity=300.0), [UserContext(device, app)])
+    return system, app
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("strategy", ["spectral", "maxflow", "kl"])
+    def test_full_pipeline_produces_feasible_scheme(self, strategy):
+        system, app = build_single_user()
+        result = make_planner(strategy).plan_system(system, {"u1": app})
+        remote = result.scheme.remote_for("u1")
+        # Feasibility: remote functions exist, are offloadable, and pinned
+        # functions stay local.
+        assert remote <= set(app.offloadable_functions())
+        # Consumption must be reproducible from the scheme alone.
+        plan = result.user_plans["u1"]
+        papp = PartitionedApplication("u1", app, plan.parts)
+        re_eval = system.evaluate_scheme({"u1": papp}, result.scheme)
+        assert re_eval.energy == pytest.approx(result.consumption.energy)
+        assert re_eval.time == pytest.approx(result.consumption.time)
+
+    def test_offloading_beats_all_local_on_combined_objective(self):
+        system, app = build_single_user(seed=2, n_functions=80)
+        result = make_planner("spectral").plan_system(system, {"u1": app})
+        plan = result.user_plans["u1"]
+        papp = PartitionedApplication("u1", app, plan.parts)
+        all_local = system.evaluate_placement({"u1": papp}, {"u1": set()})
+        assert result.consumption.combined() <= all_local.combined() + 1e-9
+
+    def test_greedy_beats_initial_placement(self):
+        from repro.mec.greedy import initial_placement
+
+        system, app = build_single_user(seed=3, n_functions=70)
+        planner = make_planner("spectral")
+        plan = planner.plan_user(app)
+        papp = PartitionedApplication("u1", app, plan.parts)
+        apps = {"u1": papp}
+        start = initial_placement(apps, {"u1": plan.bisections})
+        start_value = system.evaluate_placement(apps, start).combined()
+        result = planner.plan_system(system, {"u1": app})
+        assert result.consumption.combined() <= start_value + 1e-9
+
+    def test_spark_strategy_equivalent_to_spectral(self):
+        """The distributed solver must pick the same (or equally good)
+        cuts as the in-process spectral solver."""
+        g = netgen_graph(NetgenConfig(n_nodes=80, n_edges=340, seed=4))
+        app = call_graph_from_weighted_graph(g, unoffloadable_fraction=0.05, seed=4)
+        plain = make_planner("spectral").plan_user(app)
+        with LocalCluster(workers=2) as cluster:
+            spark = make_planner("spectral-spark", cluster=cluster).plan_user(app)
+        assert spark.total_cut_value == pytest.approx(
+            plain.total_cut_value, rel=1e-6
+        )
+
+    def test_bytecode_to_scheme_route(self):
+        """From raw IR to an offloading decision in one pass."""
+        binary = ApplicationBinary("route", entry_point="main")
+        main = binary.define("main", component="ui")
+        main.compute(4.0).ui_render()
+        heavy = binary.define("render_farm", component="work")
+        heavy.compute(500.0).return_data(3.0)
+        light = binary.define("ui_tick", component="ui")
+        light.compute(1.0).sensor_read()
+        main.call("render_farm", 2.0)
+        main.call("ui_tick", 1.0)
+
+        app = extract_call_graph(binary)
+        profile = DeviceProfile(
+            compute_capacity=10.0, power_compute=1.0, power_transmit=4.0, bandwidth=100.0
+        )
+        system = MECSystem(
+            EdgeServer(total_capacity=500.0),
+            [UserContext(MobileDevice("u1", profile=profile), app)],
+        )
+        result = make_planner("spectral").plan_system(system, {"u1": app})
+        # The massive pure-compute function gets offloaded; sensor/UI stay.
+        assert "render_farm" in result.scheme.remote_for("u1")
+        assert "ui_tick" not in result.scheme.remote_for("u1")
+        assert "main" not in result.scheme.remote_for("u1")
+
+
+class TestMultiUserIntegration:
+    def test_multiuser_plan_scales_consistently(self):
+        profile = ExperimentProfile(
+            name="it",
+            graph_sizes=(60,),
+            user_counts=(3, 6),
+            multiuser_graph_size=60,
+            distinct_graphs=2,
+        )
+        planner = make_planner("spectral")
+        totals = []
+        for n_users in profile.user_counts:
+            workload = build_mec_system(n_users, profile)
+            result = planner.plan_system(workload.system, workload.call_graphs)
+            totals.append(result.consumption.energy)
+            # Every user received a decision.
+            for user in workload.system.users:
+                assert user.user_id in result.user_plans
+        # Doubling users roughly doubles consumption (within 3x slack).
+        assert totals[1] > totals[0]
+        assert totals[1] < 4.0 * totals[0]
+
+    def test_shared_graphs_get_identical_plans(self):
+        profile = quick_profile()
+        workload = build_mec_system(4, profile, graph_size=60)
+        result = make_planner("spectral").plan_system(
+            workload.system, workload.call_graphs
+        )
+        # Users on the same pool graph share the same UserPlan object.
+        by_index: dict[int, object] = {}
+        for user_id, index in workload.user_graph_index.items():
+            plan = result.user_plans[user_id]
+            if index in by_index:
+                assert plan is by_index[index]
+            by_index[index] = plan
+
+    def test_server_pressure_reduces_offloading(self):
+        """Starve the server: the greedy must respond by keeping more
+        work local (the balance Section III describes)."""
+        app = synthesize_application("pressure", n_functions=60, seed=5)
+        profile = DeviceProfile(
+            compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+        )
+
+        def run(server_capacity: float) -> int:
+            users = [UserContext(MobileDevice("u1", profile=profile), app)]
+            system = MECSystem(EdgeServer(server_capacity), users)
+            result = make_planner("spectral").plan_system(system, {"u1": app})
+            return result.scheme.offload_count("u1")
+
+        generous = run(1000.0)
+        starved = run(1.0)
+        assert starved <= generous

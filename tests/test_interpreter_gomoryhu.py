@@ -1,0 +1,144 @@
+"""Tests for the bytecode interpreter and the Gomory-Hu tree."""
+
+import pytest
+
+from repro.callgraph.bytecode import ApplicationBinary
+from repro.callgraph.extractor import extract_call_graph
+from repro.callgraph.interpreter import BytecodeInterpreter, profile_application
+from repro.graphs.generators import random_connected_graph, two_cluster_graph
+from repro.mincut.edmonds_karp import edmonds_karp
+from repro.mincut.gomory_hu import gomory_hu_tree
+from repro.mincut.stoer_wagner import stoer_wagner_min_cut
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+def tree_binary() -> ApplicationBinary:
+    """A call tree: every function invoked exactly once."""
+    binary = ApplicationBinary("tree", entry_point="main")
+    main = binary.define("main")
+    main.compute(5.0)
+    main.call("left", 10.0)
+    main.call("right", 8.0)
+    left = binary.define("left")
+    left.compute(20.0).call("leaf", 12.0).return_data(4.0)
+    binary.define("right").compute(15.0).return_data(6.0)
+    binary.define("leaf").compute(30.0).sensor_read().return_data(7.0)
+    return binary
+
+
+class TestInterpreter:
+    def test_compute_measured(self):
+        profile = profile_application(tree_binary())
+        assert profile.compute_per_function == {
+            "main": 5.0,
+            "left": 20.0,
+            "right": 15.0,
+            "leaf": 30.0,
+        }
+        assert profile.total_compute == 70.0
+
+    def test_traffic_measured_with_returns(self):
+        profile = profile_application(tree_binary())
+        assert profile.traffic_between("main", "left") == pytest.approx(10.0 + 4.0)
+        assert profile.traffic_between("main", "right") == pytest.approx(8.0 + 6.0)
+        assert profile.traffic_between("left", "leaf") == pytest.approx(12.0 + 7.0)
+        assert profile.traffic_between("main", "leaf") == 0.0
+
+    def test_dynamic_matches_static_on_call_trees(self):
+        """The static extractor and the dynamic profile must agree on
+        every call-tree binary (each function invoked once)."""
+        binary = tree_binary()
+        static = extract_call_graph(binary)
+        dynamic = profile_application(binary)
+        for name in binary.functions:
+            assert static.graph.node_weight(name) == pytest.approx(
+                dynamic.compute_per_function.get(name, 0.0)
+            )
+        for u, v, weight in static.graph.edges():
+            assert dynamic.traffic_between(u, v) == pytest.approx(weight)
+
+    def test_call_counts_and_depth(self):
+        profile = profile_application(tree_binary())
+        assert profile.call_count["main"] == 1
+        assert profile.call_count["leaf"] == 1
+        assert profile.max_call_depth == 3
+
+    def test_device_touches_recorded(self):
+        profile = profile_application(tree_binary())
+        assert profile.device_touches == {"leaf": 1}
+
+    def test_repeated_calls_double_dynamic_traffic(self):
+        binary = ApplicationBinary("rep", entry_point="main")
+        binary.define("main").call("w", 5.0).call("w", 5.0)
+        binary.define("w").compute(2.0).return_data(3.0)
+        profile = profile_application(binary)
+        # Dynamic: both invocations pay args and returns.
+        assert profile.traffic_between("main", "w") == pytest.approx(2 * 5.0 + 2 * 3.0)
+        assert profile.compute_per_function["w"] == pytest.approx(4.0)
+
+    def test_recursion_guard(self):
+        binary = ApplicationBinary("rec", entry_point="loop")
+        binary.define("loop").call("loop", 1.0)
+        with pytest.raises(RecursionError, match="call depth"):
+            BytecodeInterpreter(binary, max_depth=50).run()
+
+    def test_invalid_binary_rejected(self):
+        binary = ApplicationBinary("bad", entry_point="missing")
+        binary.define("f")
+        with pytest.raises(ValueError):
+            BytecodeInterpreter(binary)
+
+
+class TestGomoryHu:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pairwise_cuts_match_direct_maxflow(self, seed):
+        g = random_connected_graph(9, 16, seed=seed)
+        tree = gomory_hu_tree(g)
+        nodes = g.node_list()
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                direct = edmonds_karp(g, nodes[i], nodes[j]).value
+                via_tree = tree.min_cut_value(nodes[i], nodes[j])
+                assert via_tree == pytest.approx(direct), (nodes[i], nodes[j])
+
+    def test_lightest_edge_is_global_min_cut(self):
+        for seed in range(3):
+            g = random_connected_graph(10, 20, seed=seed)
+            tree = gomory_hu_tree(g)
+            tree_value, child = tree.global_min_cut()
+            sw_value, _ = stoer_wagner_min_cut(g)
+            assert tree_value == pytest.approx(sw_value)
+            # The tree side is a certificate: its cut weight matches.
+            side = tree.side_of(child)
+            assert g.cut_weight(side) == pytest.approx(tree_value)
+
+    def test_two_clusters_tree_edge(self):
+        g = two_cluster_graph(4, intra_weight=10.0, bridge_weight=1.5)
+        tree = gomory_hu_tree(g)
+        value, child = tree.global_min_cut()
+        assert value == pytest.approx(1.5)
+        assert tree.side_of(child) in (set(range(4)), set(range(4, 8)))
+
+    def test_tree_structure(self):
+        g = random_connected_graph(8, 14, seed=5)
+        tree = gomory_hu_tree(g)
+        assert len(tree.edges()) == g.node_count - 1
+        assert tree.parent[tree.root] is None
+
+    def test_same_node_rejected(self):
+        g = random_connected_graph(5, 7, seed=6)
+        tree = gomory_hu_tree(g)
+        with pytest.raises(ValueError):
+            tree.min_cut_value(0, 0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            gomory_hu_tree(WeightedGraph())
+
+    def test_single_node_tree(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        tree = gomory_hu_tree(g)
+        assert tree.edges() == []
+        with pytest.raises(ValueError):
+            tree.global_min_cut()

@@ -1,0 +1,134 @@
+"""Tests for Karger's randomized min cut and region-growing bisection."""
+
+import pytest
+
+from repro.graphs.generators import (
+    path_graph,
+    random_connected_graph,
+    two_cluster_graph,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mincut.karger import karger_min_cut
+from repro.mincut.stoer_wagner import stoer_wagner_min_cut
+from repro.partition.region_growth import region_growth_bisect
+
+
+class TestKarger:
+    def test_finds_bridge_cut(self):
+        g = two_cluster_graph(4, intra_weight=10.0, bridge_weight=0.5)
+        result = karger_min_cut(g, trials=50, seed=1)
+        assert result.cut_value == pytest.approx(0.5)
+        assert result.part_one in (set(range(4)), set(range(4, 8)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_stoer_wagner_with_enough_trials(self, seed):
+        g = random_connected_graph(10, 18, seed=seed)
+        deterministic, _ = stoer_wagner_min_cut(g)
+        randomized = karger_min_cut(g, trials=150, seed=seed)
+        assert randomized.cut_value == pytest.approx(deterministic)
+
+    def test_cut_value_is_certified_by_partition(self):
+        g = random_connected_graph(12, 24, seed=3)
+        result = karger_min_cut(g, trials=60, seed=3)
+        assert g.cut_weight(result.part_one) == pytest.approx(result.cut_value)
+
+    def test_never_below_optimum(self):
+        """Monte Carlo can miss the optimum but never beat it."""
+        for seed in range(5):
+            g = random_connected_graph(9, 15, seed=seed)
+            optimum, _ = stoer_wagner_min_cut(g)
+            result = karger_min_cut(g, trials=5, seed=seed)  # deliberately few
+            assert result.cut_value >= optimum - 1e-9
+
+    def test_deterministic_for_seed(self):
+        g = random_connected_graph(10, 20, seed=4)
+        a = karger_min_cut(g, trials=20, seed=7)
+        b = karger_min_cut(g, trials=20, seed=7)
+        assert a.cut_value == b.cut_value
+        assert a.part_one == b.part_one
+
+    def test_default_trial_budget(self):
+        g = random_connected_graph(8, 14, seed=5)
+        result = karger_min_cut(g, seed=5)
+        assert 10 <= result.trials <= 200
+
+    def test_invalid_inputs(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        with pytest.raises(ValueError):
+            karger_min_cut(g)
+        with pytest.raises(ValueError):
+            karger_min_cut(path_graph(3), trials=0)
+
+
+class TestRegionGrowth:
+    def test_partition_covers_graph(self):
+        g = random_connected_graph(20, 40, seed=6)
+        result = region_growth_bisect(g)
+        assert result.part_one | result.part_two == set(g.nodes())
+        assert not result.part_one & result.part_two
+        assert result.part_one and result.part_two
+        assert result.cut_value == pytest.approx(g.cut_weight(result.part_one))
+
+    def test_near_half_weight(self):
+        g = random_connected_graph(30, 60, seed=7)
+        result = region_growth_bisect(g)
+        weight_one = sum(g.node_weight(n) for n in result.part_one)
+        total = g.total_node_weight()
+        assert 0.3 * total <= weight_one <= 0.75 * total
+
+    def test_grows_within_cluster_first(self):
+        g = two_cluster_graph(5, intra_weight=10.0, bridge_weight=0.5)
+        result = region_growth_bisect(g, seed_node=0)
+        # Equal-weight clusters: the region is exactly the seed's cluster.
+        assert result.part_one == set(range(5))
+        assert result.cut_value == pytest.approx(0.5)
+
+    def test_explicit_seed_respected(self):
+        g = two_cluster_graph(4, intra_weight=5.0, bridge_weight=1.0)
+        result = region_growth_bisect(g, seed_node=6)
+        assert 6 in result.part_one
+        assert result.seed_node == 6
+
+    def test_missing_seed_rejected(self):
+        with pytest.raises(KeyError):
+            region_growth_bisect(path_graph(3), seed_node=99)
+
+    def test_tiny_graphs(self):
+        single = WeightedGraph()
+        single.add_node("x")
+        result = region_growth_bisect(single)
+        assert result.part_one == {"x"}
+        assert result.part_two == set()
+
+        pair = path_graph(2)
+        result = region_growth_bisect(pair)
+        assert len(result.part_one) == 1
+        assert len(result.part_two) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            region_growth_bisect(WeightedGraph())
+
+    def test_deterministic(self):
+        g = random_connected_graph(15, 30, seed=8)
+        assert region_growth_bisect(g).part_one == region_growth_bisect(g).part_one
+
+    def test_usually_worse_than_spectral_on_clustered(self):
+        """The floor baseline: spectral should beat or tie it on the
+        clustered workloads (that's why the paper's machinery exists)."""
+        from repro.spectral.bisection import spectral_bisect
+        from repro.workloads.netgen import NetgenConfig, netgen_graph
+        from repro.graphs.components import largest_component
+
+        wins = 0
+        for seed in range(4):
+            g = netgen_graph(
+                NetgenConfig(n_nodes=120, n_edges=500, seed=seed)
+            )
+            component = g.subgraph(largest_component(g))
+            spectral = spectral_bisect(component).cut_value
+            region = region_growth_bisect(component).cut_value
+            if spectral <= region + 1e-9:
+                wins += 1
+        assert wins >= 3

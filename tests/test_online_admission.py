@@ -1,0 +1,99 @@
+"""Tests for online user admission and the online/offline regret."""
+
+import pytest
+
+from repro.core.baselines import spectral_cut_strategy
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.online import OnlinePlanner, regret_vs_offline
+from repro.workloads.applications import synthesize_application
+
+PROFILE = DeviceProfile(
+    compute_capacity=20.0, power_compute=1.0, power_transmit=6.0, bandwidth=70.0
+)
+
+
+def arrivals(n: int, base_seed: int = 61):
+    out = []
+    for k in range(n):
+        device = MobileDevice(f"u{k+1:02d}", profile=PROFILE)
+        app = synthesize_application(f"app-{k}", n_functions=50, seed=base_seed + k)
+        out.append((device, app))
+    return out
+
+
+class TestOnlinePlanner:
+    def test_admissions_accumulate(self):
+        planner = OnlinePlanner(EdgeServer(600.0), spectral_cut_strategy())
+        for device, app in arrivals(3):
+            record = planner.admit(device, app)
+            assert record.consumption_after.energy > 0.0
+        assert len(planner.state.users) == 3
+        assert len(planner.state.history) == 3
+
+    def test_duplicate_admission_rejected(self):
+        planner = OnlinePlanner(EdgeServer(600.0), spectral_cut_strategy())
+        device, app = arrivals(1)[0]
+        planner.admit(device, app)
+        with pytest.raises(ValueError, match="already admitted"):
+            planner.admit(device, app)
+
+    def test_existing_placements_never_migrate(self):
+        planner = OnlinePlanner(EdgeServer(600.0), spectral_cut_strategy())
+        batch = arrivals(3)
+        placements: dict[str, set[int]] = {}
+        for device, app in batch:
+            planner.admit(device, app)
+            # Every previously admitted user's placement is unchanged.
+            for uid, parts in placements.items():
+                assert planner.state.remote_parts[uid] == parts
+            placements = {
+                uid: set(parts) for uid, parts in planner.state.remote_parts.items()
+            }
+
+    def test_consumption_query_without_users(self):
+        planner = OnlinePlanner(EdgeServer(600.0), spectral_cut_strategy())
+        with pytest.raises(ValueError, match="no users"):
+            planner.current_consumption()
+
+    def test_later_users_see_server_load(self):
+        """A starved server makes later newcomers offload less."""
+        generous = OnlinePlanner(EdgeServer(10_000.0), spectral_cut_strategy())
+        starved = OnlinePlanner(EdgeServer(30.0), spectral_cut_strategy())
+        batch = arrivals(4)
+        for device, app in batch:
+            generous.admit(
+                MobileDevice(device.device_id, profile=PROFILE), app
+            )
+            starved.admit(MobileDevice(device.device_id, profile=PROFILE), app)
+        last = batch[-1][0].device_id
+        generous_offloaded = generous.state.history[-1].offloaded_functions
+        starved_offloaded = starved.state.history[-1].offloaded_functions
+        assert starved_offloaded <= generous_offloaded
+        assert generous.state.history[-1].user_id == last
+
+
+class TestRegret:
+    def test_offline_never_worse(self):
+        rows = regret_vs_offline(
+            EdgeServer(400.0), spectral_cut_strategy(), arrivals(3)
+        )
+        assert len(rows) == 3
+        for user_id, online_cost, offline_cost in rows:
+            # Offline replans everything, so it can only match or beat the
+            # frozen online placements (up to greedy tie noise).
+            assert offline_cost <= online_cost * 1.02, user_id
+
+    def test_first_arrival_has_no_regret(self):
+        """With one user the two planners solve the identical problem."""
+        rows = regret_vs_offline(
+            EdgeServer(400.0), spectral_cut_strategy(), arrivals(1)
+        )
+        _, online_cost, offline_cost = rows[0]
+        assert online_cost == pytest.approx(offline_cost, rel=1e-9)
+
+    def test_costs_grow_with_arrivals(self):
+        rows = regret_vs_offline(
+            EdgeServer(400.0), spectral_cut_strategy(), arrivals(3)
+        )
+        online_costs = [r[1] for r in rows]
+        assert online_costs == sorted(online_costs)

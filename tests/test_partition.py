@@ -1,0 +1,130 @@
+"""Tests for Kernighan-Lin and the FM refinement pass."""
+
+import pytest
+
+from repro.graphs.generators import (
+    path_graph,
+    random_connected_graph,
+    two_cluster_graph,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.partition.kernighan_lin import kernighan_lin_bisect
+from repro.partition.refinement import fm_refine
+
+
+class TestKernighanLin:
+    def test_balanced_sizes(self):
+        g = random_connected_graph(20, 40, seed=1)
+        result = kernighan_lin_bisect(g)
+        assert abs(len(result.part_one) - len(result.part_two)) <= 1
+
+    def test_partition_covers_graph(self):
+        g = random_connected_graph(15, 28, seed=2)
+        result = kernighan_lin_bisect(g)
+        assert result.part_one | result.part_two == set(g.nodes())
+        assert not result.part_one & result.part_two
+
+    def test_cut_value_consistent(self):
+        g = random_connected_graph(16, 30, seed=3)
+        result = kernighan_lin_bisect(g)
+        assert result.cut_value == pytest.approx(g.cut_weight(result.part_one))
+
+    def test_improves_over_naive_split(self):
+        """KL must beat (or tie) the alternating initial partition."""
+        g = two_cluster_graph(6, intra_weight=10.0, bridge_weight=1.0)
+        nodes = g.node_list()
+        naive = {n for i, n in enumerate(nodes) if i % 2 == 0}
+        naive_cut = g.cut_weight(naive)
+        result = kernighan_lin_bisect(g)
+        assert result.cut_value <= naive_cut
+
+    def test_two_clusters_found(self):
+        """On equal-size clusters the balanced optimum is the bridge cut."""
+        g = two_cluster_graph(6, intra_weight=10.0, bridge_weight=1.0)
+        result = kernighan_lin_bisect(g)
+        assert result.cut_value == pytest.approx(1.0)
+        assert result.part_one in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+
+    def test_comparable_to_networkx_kl(self):
+        networkx = pytest.importorskip("networkx")
+        for seed in range(3):
+            g = random_connected_graph(14, 30, seed=seed)
+            nxg = networkx.Graph()
+            for u, v, w in g.edges():
+                nxg.add_edge(u, v, weight=w)
+            theirs = networkx.algorithms.community.kernighan_lin_bisection(
+                nxg, weight="weight", seed=seed
+            )
+            their_cut = g.cut_weight(theirs[0])
+            ours = kernighan_lin_bisect(g)
+            # Same heuristic family: within 2x of each other's cut.
+            assert ours.cut_value <= 2.0 * their_cut + 1e-9
+
+    def test_single_node(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        result = kernighan_lin_bisect(g)
+        assert result.part_one == {"x"}
+        assert result.cut_value == 0.0
+
+    def test_two_nodes(self):
+        g = WeightedGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b", weight=4.0)
+        result = kernighan_lin_bisect(g)
+        assert result.cut_value == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kernighan_lin_bisect(WeightedGraph())
+
+    def test_seeded_shuffle_deterministic(self):
+        g = random_connected_graph(12, 22, seed=4)
+        a = kernighan_lin_bisect(g, seed=42)
+        b = kernighan_lin_bisect(g, seed=42)
+        assert a.part_one == b.part_one
+
+    def test_passes_bounded(self):
+        g = random_connected_graph(18, 35, seed=5)
+        result = kernighan_lin_bisect(g, max_passes=3)
+        assert result.passes <= 3
+
+
+class TestFMRefinement:
+    def test_never_increases_cut(self):
+        for seed in range(4):
+            g = random_connected_graph(14, 28, seed=seed)
+            nodes = g.node_list()
+            start = set(nodes[: len(nodes) // 2])
+            before = g.cut_weight(start)
+            _, _, after = fm_refine(g, start)
+            assert after <= before + 1e-9
+
+    def test_fixes_bad_split(self):
+        g = two_cluster_graph(5, intra_weight=10.0, bridge_weight=1.0)
+        # Deliberately wrong split mixing the clusters.
+        bad = {0, 1, 5, 6}
+        before = g.cut_weight(bad)
+        one, two, after = fm_refine(g, bad, min_side_fraction=0.2)
+        assert after < before
+        assert one | two == set(g.nodes())
+
+    def test_balance_floor_respected(self):
+        g = random_connected_graph(20, 40, seed=6)
+        nodes = g.node_list()
+        one, two, _ = fm_refine(g, set(nodes[:10]), min_side_fraction=0.25)
+        assert len(one) >= 5
+        assert len(two) >= 5
+
+    def test_tiny_graph_passthrough(self):
+        g = path_graph(2)
+        one, two, cut = fm_refine(g, {0})
+        assert one == {0}
+        assert two == {1}
+        assert cut == 1.0
+
+    def test_returns_consistent_cut(self):
+        g = random_connected_graph(12, 24, seed=7)
+        one, _, cut = fm_refine(g, set(g.node_list()[:6]))
+        assert cut == pytest.approx(g.cut_weight(one))

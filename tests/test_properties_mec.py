@@ -1,0 +1,173 @@
+"""Property-based tests: MEC model, allocation policies and greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.admission import (
+    EqualShareAllocation,
+    FCFSQueueAllocation,
+    ProportionalShareAllocation,
+    QueueTheoreticAllocation,
+)
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.greedy import generate_offloading_scheme
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+
+POLICIES = [
+    EqualShareAllocation(),
+    ProportionalShareAllocation(),
+    FCFSQueueAllocation(),
+    QueueTheoreticAllocation(horizon=10.0),
+]
+
+
+@st.composite
+def loads(draw):
+    """A dict of user id -> non-negative remote load."""
+    n = draw(st.integers(1, 8))
+    return {
+        f"u{i}": draw(st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False))
+        for i in range(n)
+    }
+
+
+@st.composite
+def partitioned_app(draw, user_id: str = "u1"):
+    """A random call graph pre-sliced into 2-5 parts."""
+    n_parts = draw(st.integers(2, 5))
+    fcg = FunctionCallGraph("prop")
+    fcg.add_function("pin", computation=draw(st.floats(1.0, 50.0)), offloadable=False)
+    part_sets: list[set[str]] = []
+    fn_index = 0
+    for p in range(n_parts):
+        size = draw(st.integers(1, 3))
+        members: set[str] = set()
+        for _ in range(size):
+            name = f"f{fn_index}"
+            fn_index += 1
+            fcg.add_function(name, computation=draw(st.floats(1.0, 100.0)))
+            members.add(name)
+        part_sets.append(members)
+    # Sprinkle flows: pin <-> first member of each part, chains across parts.
+    for p, members in enumerate(part_sets):
+        first = sorted(members)[0]
+        if draw(st.booleans()):
+            fcg.add_data_flow("pin", first, draw(st.floats(0.5, 30.0)))
+        if p > 0:
+            prev = sorted(part_sets[p - 1])[0]
+            fcg.add_data_flow(prev, first, draw(st.floats(0.5, 30.0)))
+    return PartitionedApplication(user_id, fcg, part_sets)
+
+
+@given(loads())
+@settings(max_examples=60, deadline=None)
+def test_allocation_policies_basic_invariants(remote_loads):
+    server = EdgeServer(total_capacity=100.0)
+    for policy in POLICIES:
+        allocation = policy.allocate(server, remote_loads)
+        for user, load in remote_loads.items():
+            capacity = allocation.capacity_for(user)
+            waiting = allocation.waiting_for(user)
+            assert waiting >= 0.0
+            assert capacity >= 0.0
+            if load > 1e-12:  # policies treat smaller loads as idle
+                assert capacity > 0.0, f"{type(policy).__name__} starved {user}"
+            elif load == 0.0:
+                assert capacity == 0.0
+                assert waiting == 0.0
+
+
+@given(loads())
+@settings(max_examples=60, deadline=None)
+def test_share_policies_never_exceed_server_capacity(remote_loads):
+    server = EdgeServer(total_capacity=100.0)
+    for policy in (EqualShareAllocation(), ProportionalShareAllocation()):
+        allocation = policy.allocate(server, remote_loads)
+        assert sum(allocation.capacity.values()) <= server.total_capacity + 1e-9
+
+
+@given(loads())
+@settings(max_examples=60, deadline=None)
+def test_fcfs_waiting_is_cumulative_backlog(remote_loads):
+    server = EdgeServer(total_capacity=100.0)
+    allocation = FCFSQueueAllocation().allocate(server, remote_loads)
+    active = sorted(u for u, load in remote_loads.items() if load > 1e-12)
+    backlog = 0.0
+    for user in active:
+        assert allocation.waiting_for(user) == np.float64(backlog) / 100.0
+        backlog += remote_loads[user]
+
+
+@given(partitioned_app())
+@settings(max_examples=40, deadline=None)
+def test_cut_weight_subadditive_under_union(app):
+    """Placing two groups remotely can never cross more traffic than the
+    sum of placing each alone (shared internal edges stop crossing)."""
+    all_ids = {p.part_id for p in app.parts}
+    half = {p for p in all_ids if p % 2 == 0}
+    other = all_ids - half
+    together = app.cut_weight(all_ids)
+    assert together <= app.cut_weight(half) + app.cut_weight(other) + 1e-9
+
+
+@given(partitioned_app())
+@settings(max_examples=40, deadline=None)
+def test_weights_conserved_by_placement(app):
+    """local + remote computation is placement-invariant."""
+    all_ids = {p.part_id for p in app.parts}
+    subsets = [set(), {0}, all_ids, {p for p in all_ids if p % 2 == 1}]
+    totals = {app.local_weight(s) + app.remote_weight(s) for s in subsets}
+    assert len(totals) == 1 or max(totals) - min(totals) < 1e-9
+
+
+@given(partitioned_app(), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_greedy_history_monotone_and_feasible(app, policy_index):
+    device = MobileDevice(
+        "u1",
+        profile=DeviceProfile(
+            compute_capacity=15.0, power_compute=1.0, power_transmit=5.0, bandwidth=80.0
+        ),
+    )
+    system = MECSystem(
+        EdgeServer(total_capacity=200.0),
+        [UserContext(device, app.call_graph)],
+        allocation=POLICIES[policy_index],
+    )
+    all_ids = {p.part_id for p in app.parts}
+    bisections = [({min(all_ids)}, all_ids - {min(all_ids)})]
+    result = generate_offloading_scheme(system, {"u1": app}, {"u1": bisections})
+    # Monotone objective trajectory.
+    for earlier, later in zip(result.history, result.history[1:]):
+        assert later <= earlier + 1e-9
+    # Pinned function never offloaded.
+    assert "pin" not in result.scheme.remote_for("u1")
+    # Final consumption consistent with an independent evaluation.
+    recomputed = system.evaluate_placement({"u1": app}, result.remote_parts)
+    assert np.isclose(result.consumption.combined(), recomputed.combined())
+
+
+@given(partitioned_app())
+@settings(max_examples=25, deadline=None)
+def test_greedy_lazy_equals_exhaustive(app):
+    device = MobileDevice(
+        "u1",
+        profile=DeviceProfile(
+            compute_capacity=15.0, power_compute=1.0, power_transmit=5.0, bandwidth=80.0
+        ),
+    )
+    system = MECSystem(EdgeServer(200.0), [UserContext(device, app.call_graph)])
+    all_ids = {p.part_id for p in app.parts}
+    bisections = [(set(), all_ids)]
+    lazy = generate_offloading_scheme(system, {"u1": app}, {"u1": bisections})
+    full = generate_offloading_scheme(
+        system, {"u1": app}, {"u1": bisections}, exhaustive=True
+    )
+    assert np.isclose(
+        lazy.consumption.combined(), full.consumption.combined(), rtol=1e-9
+    )

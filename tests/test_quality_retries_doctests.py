@@ -1,0 +1,138 @@
+"""Tests for compression quality metrics, cluster task retries, and the
+library's runnable docstring examples."""
+
+import doctest
+
+import pytest
+
+from repro.compression import GraphCompressor
+from repro.compression.quality import (
+    compression_quality,
+    internalized_traffic_fraction,
+    weighted_modularity,
+)
+from repro.distributed.cluster import LocalCluster
+from repro.graphs.generators import path_graph, two_cluster_graph
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+
+class TestCompressionQuality:
+    def test_perfect_clustering_internalises_almost_everything(self):
+        g = two_cluster_graph(5, intra_weight=10.0, bridge_weight=1.0)
+        clusters = [set(range(5)), set(range(5, 10))]
+        fraction = internalized_traffic_fraction(g, clusters)
+        bridge = 1.0
+        total = g.total_edge_weight()
+        assert fraction == pytest.approx((total - bridge) / total)
+
+    def test_singleton_clustering_internalises_nothing(self):
+        g = path_graph(6)
+        clusters = [{n} for n in g.nodes()]
+        assert internalized_traffic_fraction(g, clusters) == 0.0
+
+    def test_overlapping_clusters_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="two clusters"):
+            internalized_traffic_fraction(g, [{0, 1}, {1, 2}])
+
+    def test_modularity_signs(self):
+        g = two_cluster_graph(5, intra_weight=10.0, bridge_weight=1.0)
+        good = weighted_modularity(g, [set(range(5)), set(range(5, 10))])
+        trivial = weighted_modularity(g, [set(g.nodes())])
+        assert good > 0.3
+        assert trivial == pytest.approx(0.0, abs=1e-9)
+        assert good > trivial
+
+    def test_edgeless_graph_scores_zero(self):
+        g = WeightedGraph()
+        g.add_node("a")
+        assert weighted_modularity(g, [{"a"}]) == 0.0
+        assert internalized_traffic_fraction(g, [{"a"}]) == 0.0
+
+    def test_lpa_compression_quality_on_netgen(self):
+        """Algorithm 1 must internalise the heavy intra-cluster traffic
+        on NETGEN-style clustered workloads."""
+        g = netgen_graph(NetgenConfig(n_nodes=200, n_edges=900, seed=3))
+        compressed = GraphCompressor().compress(g).compressed
+        quality = compression_quality(g, compressed)
+        assert quality["internalized_traffic"] > 0.6
+        assert quality["modularity"] > 0.2
+        assert quality["node_reduction"] > 0.5
+
+
+class TestClusterRetries:
+    @staticmethod
+    def flaky(failures_left: list[int]):
+        def task():
+            if failures_left[0] > 0:
+                failures_left[0] -= 1
+                raise RuntimeError("transient worker failure")
+            return "ok"
+
+        return task
+
+    def test_retry_recovers_transient_failure(self):
+        cluster = LocalCluster(workers=1, max_task_retries=3)
+        results = cluster.run_stage([self.flaky([2])])
+        assert results == ["ok"]
+        assert cluster.stats.retries == 2
+
+    def test_budget_exhaustion_propagates(self):
+        cluster = LocalCluster(workers=1, max_task_retries=1)
+        with pytest.raises(RuntimeError, match="transient"):
+            cluster.run_stage([self.flaky([5])])
+        assert cluster.stats.retries == 1
+
+    def test_zero_retries_fail_fast(self):
+        cluster = LocalCluster(workers=1, max_task_retries=0)
+        with pytest.raises(RuntimeError):
+            cluster.run_stage([self.flaky([1])])
+        assert cluster.stats.retries == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LocalCluster(workers=1, max_task_retries=-1)
+
+    def test_rdd_pipeline_survives_flaky_tasks(self):
+        """Retries compose with the RDD layer (tasks must be pure)."""
+        cluster = LocalCluster(workers=2, max_task_retries=2)
+        fail_once = {"budget": 2}
+
+        def sometimes_flaky(x: int) -> int:
+            if fail_once["budget"] > 0 and x == 0:
+                fail_once["budget"] -= 1
+                raise OSError("worker lost")
+            return x * 2
+
+        result = cluster.parallelize(range(10), partitions=5).map(
+            sometimes_flaky
+        ).collect()
+        assert result == [x * 2 for x in range(10)]
+        assert cluster.stats.retries >= 1
+
+
+class TestDoctests:
+    """The examples in key docstrings must actually run."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.utils.rng",
+            "repro.utils.timer",
+            "repro.graphs.weighted_graph",
+            "repro.distributed.cluster",
+            "repro.simulation.events",
+            "repro.compression.compressor",
+            "repro.spectral.fiedler",
+        ],
+    )
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        failures, attempted = doctest.testmod(
+            module, verbose=False, raise_on_error=False
+        ).failed, doctest.testmod(module, verbose=False).attempted
+        assert attempted > 0, f"{module_name} advertises no runnable examples"
+        assert failures == 0

@@ -1,0 +1,151 @@
+"""Tests for scenario comparison and DOT export."""
+
+import pytest
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.graphs.dot import clustering_to_dot, cut_to_dot, graph_to_dot
+from repro.graphs.generators import path_graph, two_cluster_graph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.simulation.faults import ServerDegradation
+from repro.simulation.scenario import Scenario, compare_scenarios
+
+PROFILE = DeviceProfile(
+    compute_capacity=10.0, power_compute=2.0, power_transmit=5.0, bandwidth=20.0
+)
+
+
+def fixture_system():
+    fcg = FunctionCallGraph("sc")
+    fcg.add_function("pin", computation=50.0, offloadable=False)
+    fcg.add_function("ship", computation=200.0)
+    fcg.add_data_flow("pin", "ship", 40.0)
+    app = PartitionedApplication("u1", fcg, [{"ship"}])
+    system = MECSystem(
+        EdgeServer(50.0), [UserContext(MobileDevice("u1", profile=PROFILE), fcg)]
+    )
+    return system, {"u1": app}, {"u1": {0}}
+
+
+class TestScenarios:
+    def test_compare_runs_all(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(
+            system,
+            apps,
+            placement,
+            [
+                Scenario("healthy"),
+                Scenario("degraded", faults=(ServerDegradation(time=1.0, factor=0.25),)),
+            ],
+        )
+        assert set(comparison.reports) == {"healthy", "degraded"}
+        assert comparison.baseline == "healthy"
+
+    def test_degradation_inflates_makespan_not_energy(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(
+            system,
+            apps,
+            placement,
+            [
+                Scenario("healthy"),
+                Scenario("degraded", faults=(ServerDegradation(time=0.5, factor=0.1),)),
+            ],
+        )
+        assert comparison.makespan_inflation("degraded") > 1.0
+        assert comparison.energy_inflation("degraded") == pytest.approx(1.0)
+        assert comparison.makespan_inflation("healthy") == 1.0
+
+    def test_arrival_scenario(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(
+            system,
+            apps,
+            placement,
+            [Scenario("batch"), Scenario("late", arrivals={"u1": 10.0})],
+        )
+        assert comparison.makespan_inflation("late") > 1.0
+
+    def test_shared_channel_scenario(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(
+            system,
+            apps,
+            placement,
+            [Scenario("private"), Scenario("narrow", shared_uplink_capacity=5.0)],
+        )
+        # 40 data units at 5/s (shared) vs 20/s (private).
+        narrow = comparison.report("narrow").timeline("u1")
+        private = comparison.report("private").timeline("u1")
+        assert narrow.upload_finish > private.upload_finish
+
+    def test_rows_shape(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(system, apps, placement, [Scenario("only")])
+        rows = comparison.rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "only"
+
+    def test_duplicate_names_rejected(self):
+        system, apps, placement = fixture_system()
+        with pytest.raises(ValueError, match="duplicate"):
+            compare_scenarios(
+                system, apps, placement, [Scenario("x"), Scenario("x")]
+            )
+
+    def test_empty_scenarios_rejected(self):
+        system, apps, placement = fixture_system()
+        with pytest.raises(ValueError, match="at least one"):
+            compare_scenarios(system, apps, placement, [])
+
+    def test_unknown_report_rejected(self):
+        system, apps, placement = fixture_system()
+        comparison = compare_scenarios(system, apps, placement, [Scenario("a")])
+        with pytest.raises(KeyError):
+            comparison.report("ghost")
+
+
+class TestDotExport:
+    def test_plain_graph(self):
+        dot = graph_to_dot(path_graph(3), name="p3")
+        assert dot.startswith('graph "p3" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == 2
+        assert '"0"' in dot and '"2"' in dot
+
+    def test_cut_marks_crossings_red(self):
+        g = two_cluster_graph(3, intra_weight=5.0, bridge_weight=1.0)
+        dot = cut_to_dot(g, part_one=set(range(3)))
+        assert dot.count("color=red") == 1  # exactly the bridge
+
+    def test_clustering_colors_groups(self):
+        g = two_cluster_graph(3)
+        dot = clustering_to_dot(g, [set(range(3)), set(range(3, 6))])
+        # Two distinct fill colors drawn from the palette.
+        colors = {
+            line.split('fillcolor="')[1].split('"')[0]
+            for line in dot.splitlines()
+            if "fillcolor=" in line
+        }
+        assert len(colors) == 2
+
+    def test_quoting_of_odd_node_names(self):
+        from repro.graphs.weighted_graph import WeightedGraph
+
+        g = WeightedGraph()
+        g.add_node('fn "main"', weight=1.0)
+        g.add_node("other", weight=1.0)
+        g.add_edge('fn "main"', "other", weight=2.0)
+        dot = graph_to_dot(g)
+        assert '\\"main\\"' in dot
+
+    def test_compression_clusters_render(self):
+        from repro.compression import GraphCompressor
+
+        g = two_cluster_graph(4, intra_weight=10.0, bridge_weight=1.0)
+        compressed = GraphCompressor().compress(g).compressed
+        dot = clustering_to_dot(g, compressed.clusters)
+        assert "graph" in dot
+        assert dot.count(" -- ") == g.edge_count

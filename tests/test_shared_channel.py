@@ -1,0 +1,116 @@
+"""Tests for the shared-uplink (fair-share channel) simulation mode."""
+
+import pytest
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.simulation import BandwidthChange, simulate_scheme
+
+PROFILE = DeviceProfile(
+    compute_capacity=10.0, power_compute=2.0, power_transmit=5.0, bandwidth=20.0
+)
+
+
+def build(users_spec: dict[str, tuple[float, float, float]], capacity=1000.0):
+    """users_spec: uid -> (local, remote, cut)."""
+    contexts, apps = [], {}
+    for uid, (local, remote, cut) in users_spec.items():
+        fcg = FunctionCallGraph(uid)
+        fcg.add_function("pin", computation=local, offloadable=False)
+        fcg.add_function("ship", computation=remote)
+        if cut > 0:
+            fcg.add_data_flow("pin", "ship", cut)
+        apps[uid] = PartitionedApplication(uid, fcg, [{"ship"}])
+        contexts.append(UserContext(MobileDevice(uid, profile=PROFILE), fcg))
+    system = MECSystem(EdgeServer(capacity), contexts)
+    placement = {uid: {0} for uid in users_spec}
+    return system, apps, placement
+
+
+class TestSharedChannel:
+    def test_single_user_gets_full_channel(self):
+        system, apps, placement = build({"u1": (10.0, 50.0, 30.0)})
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=15.0
+        )
+        # 30 data units at 15/s = 2 seconds.
+        assert report.timeline("u1").upload_finish == pytest.approx(2.0)
+
+    def test_equal_uploads_split_channel(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=20.0
+        )
+        # Both stream at 10/s throughout: each finishes at 3.0s.
+        assert report.timeline("u1").upload_finish == pytest.approx(3.0)
+        assert report.timeline("u2").upload_finish == pytest.approx(3.0)
+
+    def test_short_upload_frees_capacity_for_long_one(self):
+        spec = {"u1": (1.0, 50.0, 10.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=20.0
+        )
+        # Phase 1: both at 10/s; u1 done at t=1 (10 units).
+        assert report.timeline("u1").upload_finish == pytest.approx(1.0)
+        # u2 sent 10 by t=1, then streams the remaining 20 at 20/s -> t=2.
+        assert report.timeline("u2").upload_finish == pytest.approx(2.0)
+
+    def test_contention_slower_than_private_links(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        private = simulate_scheme(system, apps, placement)
+        shared = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=PROFILE.bandwidth
+        )
+        for uid in spec:
+            assert (
+                shared.timeline(uid).upload_finish
+                >= private.timeline(uid).upload_finish - 1e-9
+            )
+
+    def test_transmission_energy_scales_with_airtime(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=20.0
+        )
+        # 3 seconds of airtime at p_t = 5 W.
+        assert report.timeline("u1").transmission_energy == pytest.approx(15.0)
+
+    def test_bandwidth_fault_in_shared_mode(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system,
+            apps,
+            placement,
+            faults=[BandwidthChange(time=1.0, user_id="u1", factor=0.5)],
+            shared_uplink_capacity=20.0,
+        )
+        t1 = report.timeline("u1")
+        t2 = report.timeline("u2")
+        # u1: 10 units by t=1, then at 5/s (half its 10/s share).
+        # u2 keeps its 10/s share until done at t=3 (30 units).
+        assert t2.upload_finish == pytest.approx(3.0)
+        # u1: 10 + 2s*5 = 20 by t=3; then alone: share 20/s * 0.5 = 10/s
+        # for the last 10 units -> t=4.
+        assert t1.upload_finish == pytest.approx(4.0)
+
+    def test_invalid_capacity_rejected(self):
+        system, apps, placement = build({"u1": (1.0, 5.0, 2.0)})
+        with pytest.raises(ValueError, match="shared_uplink_capacity"):
+            simulate_scheme(system, apps, placement, shared_uplink_capacity=0.0)
+
+    def test_queueing_order_reflects_contention(self):
+        """Contention reorders server arrivals vs the private-link case."""
+        spec = {"u1": (1.0, 100.0, 28.0), "u2": (1.0, 100.0, 30.0)}
+        system, apps, placement = build(spec, capacity=10.0)
+        shared = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=20.0
+        )
+        # u1 (28 units) finishes upload before u2 (30) and is served first.
+        assert shared.timeline("u1").service_start < shared.timeline("u2").service_start

@@ -1,0 +1,264 @@
+"""Tests for the discrete-event simulation substrate."""
+
+import pytest
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.simulation import (
+    BandwidthChange,
+    EventQueue,
+    ServerDegradation,
+    simulate_scheme,
+)
+
+PROFILE = DeviceProfile(
+    compute_capacity=10.0, power_compute=2.0, power_transmit=5.0, bandwidth=20.0
+)
+
+
+def one_user_setup(local=100.0, remote=200.0, cut=40.0, capacity=50.0):
+    """A hand-built app with exact local/remote/cut quantities."""
+    fcg = FunctionCallGraph("sim")
+    fcg.add_function("pin", computation=local, offloadable=False)
+    fcg.add_function("ship", computation=remote)
+    if cut > 0:
+        fcg.add_data_flow("pin", "ship", cut)
+    app = PartitionedApplication("u1", fcg, [{"ship"}])
+    device = MobileDevice("u1", profile=PROFILE)
+    system = MECSystem(EdgeServer(capacity), [UserContext(device, fcg)])
+    return system, {"u1": app}
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(1.0, name)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+
+class TestSingleUser:
+    def test_timeline_matches_formulas(self):
+        system, apps = one_user_setup()
+        report = simulate_scheme(system, apps, {"u1": {0}})
+        t = report.timeline("u1")
+        assert t.local_finish == pytest.approx(100.0 / 10.0)  # formula (1)
+        assert t.upload_finish == pytest.approx(40.0 / 20.0)  # formula (5)
+        assert t.service_finish == pytest.approx(2.0 + 200.0 / 50.0)
+        assert t.local_energy == pytest.approx(10.0 * 2.0)  # formula (3)
+        assert t.transmission_energy == pytest.approx(2.0 * 5.0)  # (4): cut*p_t/b
+        assert t.completion == pytest.approx(10.0)  # local side dominates
+        assert report.makespan == pytest.approx(10.0)
+
+    def test_all_local_no_network_activity(self):
+        system, apps = one_user_setup()
+        report = simulate_scheme(system, apps, {"u1": set()})
+        t = report.timeline("u1")
+        assert t.remote_work == 0.0
+        assert t.upload_finish == 0.0
+        assert t.transmission_energy == 0.0
+        assert t.local_finish == pytest.approx(300.0 / 10.0)
+
+    def test_zero_cut_remote_starts_immediately(self):
+        system, apps = one_user_setup(cut=0.0)
+        report = simulate_scheme(system, apps, {"u1": {0}})
+        t = report.timeline("u1")
+        assert t.upload_finish == pytest.approx(0.0)
+        assert t.service_start == pytest.approx(0.0)
+        assert t.service_finish == pytest.approx(4.0)
+
+    def test_energy_consistent_with_analytic_model(self):
+        """Simulated E must equal the closed-form E of the MEC model."""
+        system, apps = one_user_setup()
+        placement = {"u1": {0}}
+        report = simulate_scheme(system, apps, placement)
+        analytic = system.evaluate_placement(apps, placement)
+        assert report.total_energy == pytest.approx(analytic.energy)
+        assert report.total_local_energy == pytest.approx(analytic.local_energy)
+        assert report.total_transmission_energy == pytest.approx(
+            analytic.transmission_energy
+        )
+
+
+class TestMultiUserQueueing:
+    def make_two_users(self, capacity=50.0):
+        system_users = []
+        apps = {}
+        for uid, (local, remote, cut) in {
+            "u1": (50.0, 100.0, 20.0),
+            "u2": (30.0, 150.0, 40.0),
+        }.items():
+            fcg = FunctionCallGraph(uid)
+            fcg.add_function("pin", computation=local, offloadable=False)
+            fcg.add_function("ship", computation=remote)
+            fcg.add_data_flow("pin", "ship", cut)
+            apps[uid] = PartitionedApplication(uid, fcg, [{"ship"}])
+            system_users.append(UserContext(MobileDevice(uid, profile=PROFILE), fcg))
+        system = MECSystem(EdgeServer(capacity), system_users)
+        return system, apps
+
+    def test_fcfs_order_by_upload_completion(self):
+        system, apps = self.make_two_users()
+        report = simulate_scheme(system, apps, {"u1": {0}, "u2": {0}})
+        t1, t2 = report.timeline("u1"), report.timeline("u2")
+        # u1 uploads 20 units (1s), u2 uploads 40 (2s): u1 served first.
+        assert t1.upload_finish == pytest.approx(1.0)
+        assert t2.upload_finish == pytest.approx(2.0)
+        assert t1.service_start == pytest.approx(1.0)
+        assert t1.service_finish == pytest.approx(1.0 + 100.0 / 50.0)
+        # u2 arrived at 2.0 but the server is busy until 3.0.
+        assert t2.service_start == pytest.approx(3.0)
+        assert t2.waiting == pytest.approx(1.0)
+        assert t2.service_finish == pytest.approx(3.0 + 150.0 / 50.0)
+
+    def test_server_utilization_and_busy(self):
+        system, apps = self.make_two_users()
+        report = simulate_scheme(system, apps, {"u1": {0}, "u2": {0}})
+        assert report.server_busy == pytest.approx(2.0 + 3.0)
+        assert 0.0 < report.server_utilization <= 1.0
+
+    def test_uploads_run_in_parallel(self):
+        """Each user owns their uplink: uploads overlap in time."""
+        system, apps = self.make_two_users()
+        report = simulate_scheme(system, apps, {"u1": {0}, "u2": {0}})
+        # If uploads were serialised, u2 would finish at 3.0, not 2.0.
+        assert report.timeline("u2").upload_finish == pytest.approx(2.0)
+
+    def test_sum_matches_analytic_under_instant_network(self):
+        """With a near-infinite uplink the simulation reduces exactly to
+        the analytic FCFS model (waiting = backlog of earlier users)."""
+        fast = DeviceProfile(
+            compute_capacity=10.0,
+            power_compute=2.0,
+            power_transmit=5.0,
+            bandwidth=1e9,
+        )
+        users, apps = [], {}
+        for uid, remote in (("u1", 100.0), ("u2", 150.0), ("u3", 50.0)):
+            fcg = FunctionCallGraph(uid)
+            fcg.add_function("pin", computation=10.0, offloadable=False)
+            fcg.add_function("ship", computation=remote)
+            apps[uid] = PartitionedApplication(uid, fcg, [{"ship"}])
+            users.append(UserContext(MobileDevice(uid, profile=fast), fcg))
+        system = MECSystem(EdgeServer(50.0), users)
+        placement = {uid: {0} for uid in apps}
+
+        report = simulate_scheme(system, apps, placement)
+        analytic = system.evaluate_placement(apps, placement)
+        for uid in apps:
+            timeline = report.timeline(uid)
+            breakdown = analytic.per_user[uid]
+            simulated_remote = timeline.service_finish - timeline.upload_finish
+            assert simulated_remote == pytest.approx(breakdown.remote_time, abs=1e-6)
+
+
+class TestFaults:
+    def test_server_degradation_slows_service(self):
+        system, apps = one_user_setup(cut=0.0)  # service runs 0..4s at 50/s
+        healthy = simulate_scheme(system, apps, {"u1": {0}})
+        degraded = simulate_scheme(
+            system, apps, {"u1": {0}}, faults=[ServerDegradation(time=2.0, factor=0.5)]
+        )
+        # 2s at 50/s (100 done) + 100 remaining at 25/s = 4 more seconds.
+        assert healthy.timeline("u1").service_finish == pytest.approx(4.0)
+        assert degraded.timeline("u1").service_finish == pytest.approx(6.0)
+
+    def test_server_recovery_speeds_service(self):
+        system, apps = one_user_setup(cut=0.0)
+        boosted = simulate_scheme(
+            system, apps, {"u1": {0}}, faults=[ServerDegradation(time=2.0, factor=2.0)]
+        )
+        # 2s at 50/s + 100 remaining at 100/s = 1 more second.
+        assert boosted.timeline("u1").service_finish == pytest.approx(3.0)
+
+    def test_bandwidth_drop_slows_upload_and_costs_energy(self):
+        system, apps = one_user_setup()  # upload 40 units at 20/s = 2s
+        faulted = simulate_scheme(
+            system,
+            apps,
+            {"u1": {0}},
+            faults=[BandwidthChange(time=1.0, user_id="u1", factor=0.5)],
+        )
+        t = faulted.timeline("u1")
+        # 1s at 20/s (20 sent) + 20 remaining at 10/s = 2 more seconds.
+        assert t.upload_finish == pytest.approx(3.0)
+        # Energy is power x actual duration: longer upload costs more.
+        assert t.transmission_energy == pytest.approx(3.0 * 5.0)
+
+    def test_fault_after_completion_is_harmless(self):
+        system, apps = one_user_setup(cut=0.0)
+        report = simulate_scheme(
+            system,
+            apps,
+            {"u1": {0}},
+            faults=[ServerDegradation(time=100.0, factor=0.1)],
+        )
+        assert report.timeline("u1").service_finish == pytest.approx(4.0)
+
+    def test_fault_on_unknown_user_rejected(self):
+        system, apps = one_user_setup()
+        with pytest.raises(ValueError, match="unknown user"):
+            simulate_scheme(
+                system,
+                apps,
+                {"u1": {0}},
+                faults=[BandwidthChange(time=1.0, user_id="ghost", factor=0.5)],
+            )
+
+    def test_invalid_fault_parameters(self):
+        with pytest.raises(ValueError):
+            ServerDegradation(time=-1.0)
+        with pytest.raises(ValueError):
+            ServerDegradation(time=1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            BandwidthChange(time=1.0, user_id="", factor=0.5)
+
+
+class TestEndToEndWithPlanner:
+    def test_planned_scheme_executes(self):
+        """Plan with the paper pipeline, then execute the plan."""
+        from repro.core import make_planner
+        from repro.workloads.applications import synthesize_application
+
+        app = synthesize_application("sim-app", n_functions=40, seed=3)
+        device = MobileDevice("u1", profile=PROFILE)
+        system = MECSystem(EdgeServer(300.0), [UserContext(device, app)])
+        planner = make_planner("spectral")
+        result = planner.plan_system(system, {"u1": app})
+
+        apps = {
+            "u1": PartitionedApplication("u1", app, result.user_plans["u1"].parts)
+        }
+        report = simulate_scheme(system, apps, result.greedy.remote_parts)
+        analytic = result.consumption
+        # Energies agree exactly (both are duration x power with the same
+        # durations when the network is healthy).
+        assert report.total_energy == pytest.approx(analytic.energy, rel=1e-9)
+        assert report.makespan > 0.0
+        assert report.events_processed > 0

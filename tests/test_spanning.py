@@ -1,0 +1,111 @@
+"""Tests for spanning forests and the coupling backbone."""
+
+import pytest
+
+from repro.graphs.generators import (
+    path_graph,
+    random_connected_graph,
+    two_cluster_graph,
+)
+from repro.graphs.spanning import (
+    backbone_fraction,
+    maximum_spanning_forest,
+    minimum_spanning_forest,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+class TestMaximumSpanningForest:
+    def test_tree_on_connected_graph(self):
+        g = random_connected_graph(15, 30, seed=1)
+        forest = maximum_spanning_forest(g)
+        assert len(forest.edges) == 14
+        assert forest.tree_count == 1
+
+    def test_forest_counts_components(self):
+        g = WeightedGraph()
+        for n in range(5):
+            g.add_node(n)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        forest = maximum_spanning_forest(g)
+        assert forest.tree_count == 3  # {0,1}, {2,3}, {4}
+        assert len(forest.edges) == 2
+
+    def test_keeps_heavy_edges(self):
+        g = two_cluster_graph(3, intra_weight=10.0, bridge_weight=1.0)
+        forest = maximum_spanning_forest(g)
+        # The bridge must be included (only connection), plus heavy edges.
+        weights = sorted(w for _, _, w in forest.edges)
+        assert weights[0] == 1.0
+        assert all(w == 10.0 for w in weights[1:])
+
+    def test_as_graph_roundtrip(self):
+        g = random_connected_graph(10, 20, seed=2)
+        forest = maximum_spanning_forest(g)
+        tree = forest.as_graph(g)
+        assert tree.node_count == g.node_count
+        assert tree.edge_count == 9
+        assert tree.total_node_weight() == pytest.approx(g.total_node_weight())
+
+    def test_cycle_free(self):
+        from repro.graphs.components import connected_components
+
+        g = random_connected_graph(12, 30, seed=3)
+        tree = maximum_spanning_forest(g).as_graph(g)
+        # Tree: edges = nodes - components.
+        assert tree.edge_count == tree.node_count - len(connected_components(tree))
+
+
+class TestMinimumSpanningForest:
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        for seed in range(3):
+            g = random_connected_graph(12, 26, seed=seed)
+            nxg = networkx.Graph()
+            for u, v, w in g.edges():
+                nxg.add_edge(u, v, weight=w)
+            expected = sum(
+                d["weight"]
+                for _, _, d in networkx.minimum_spanning_tree(nxg).edges(data=True)
+            )
+            ours = minimum_spanning_forest(g).total_weight
+            assert ours == pytest.approx(expected)
+
+    def test_max_geq_min(self):
+        g = random_connected_graph(14, 30, seed=4)
+        assert (
+            maximum_spanning_forest(g).total_weight
+            >= minimum_spanning_forest(g).total_weight
+        )
+
+    def test_equal_on_trees(self):
+        g = path_graph(6, edge_weight=2.0)
+        assert maximum_spanning_forest(g).total_weight == pytest.approx(10.0)
+        assert minimum_spanning_forest(g).total_weight == pytest.approx(10.0)
+
+
+class TestBackbone:
+    def test_tree_backbone_is_everything(self):
+        g = path_graph(6)
+        assert backbone_fraction(g) == pytest.approx(1.0)
+
+    def test_edgeless_graph(self):
+        g = WeightedGraph()
+        g.add_node("x")
+        assert backbone_fraction(g) == 0.0
+
+    def test_netgen_workloads_are_backbone_heavy(self):
+        """The regime claim: clustered call-graph workloads concentrate
+        traffic on strong chains."""
+        from repro.workloads.netgen import NetgenConfig, netgen_graph
+
+        g = netgen_graph(NetgenConfig(n_nodes=200, n_edges=900, seed=5))
+        assert backbone_fraction(g) > 0.4
+
+    def test_uniform_clique_is_backbone_light(self):
+        g = random_connected_graph(
+            10, 45, seed=6, edge_weight_range=(5.0, 5.0)
+        )  # uniform complete graph
+        # Backbone keeps n-1 of m equal edges.
+        assert backbone_fraction(g) == pytest.approx(9 / 45)

@@ -1,0 +1,65 @@
+"""Tests for the topology robustness experiment module."""
+
+import pytest
+
+from repro.experiments.topologies import (
+    TOPOLOGIES,
+    build_topology_graph,
+    run_topology_experiment,
+    winners_by_topology,
+)
+from repro.graphs.validation import check_graph_invariants
+from repro.workloads.profiles import ExperimentProfile
+
+TINY = ExperimentProfile(
+    name="tiny", graph_sizes=(80,), user_counts=(2,), multiuser_graph_size=80
+)
+
+
+class TestBuildTopologyGraph:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_every_topology_builds(self, topology):
+        graph = build_topology_graph(topology, 80, 350, seed=1)
+        assert graph.node_count == 80
+        check_graph_invariants(graph)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology_graph("torus", 80, 350, seed=1)
+
+    def test_density_roughly_matched(self):
+        """Each model gets roughly the requested edge budget."""
+        target = 350
+        for topology in TOPOLOGIES:
+            graph = build_topology_graph(topology, 80, target, seed=2)
+            assert 0.4 * target <= graph.edge_count <= 1.6 * target, topology
+
+
+class TestRunExperiment:
+    def test_full_grid(self):
+        rows = run_topology_experiment(TINY)
+        assert len(rows) == len(TOPOLOGIES) * 3
+        combos = {(r.topology, r.algorithm) for r in rows}
+        assert len(combos) == len(rows)
+
+    def test_subset_selection(self):
+        rows = run_topology_experiment(
+            TINY, topologies=("netgen",), algorithms=("spectral",)
+        )
+        assert len(rows) == 1
+        assert rows[0].topology == "netgen"
+        assert rows[0].algorithm == "spectral"
+
+    def test_consumption_consistency(self):
+        rows = run_topology_experiment(TINY, topologies=("netgen",))
+        for row in rows:
+            assert row.total_energy == pytest.approx(
+                row.local_energy + row.transmission_energy
+            )
+            assert row.combined >= row.total_energy  # E+T >= E
+
+    def test_winners_map(self):
+        rows = run_topology_experiment(TINY, topologies=("netgen", "erdos-renyi"))
+        winners = winners_by_topology(rows)
+        assert set(winners) == {"netgen", "erdos-renyi"}
+        assert all(w in ("spectral", "maxflow", "kl") for w in winners.values())

@@ -1,0 +1,94 @@
+"""Tests for simulation event tracing."""
+
+import json
+
+import pytest
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, UserContext
+from repro.simulation import ServerDegradation, simulate_scheme
+from repro.simulation.tracing import traced_simulation
+
+PROFILE = DeviceProfile(
+    compute_capacity=10.0, power_compute=2.0, power_transmit=5.0, bandwidth=20.0
+)
+
+
+def fixture_system(n_users: int = 2):
+    contexts, apps = [], {}
+    for k in range(n_users):
+        uid = f"u{k+1}"
+        fcg = FunctionCallGraph(uid)
+        fcg.add_function("pin", computation=20.0, offloadable=False)
+        fcg.add_function("ship", computation=100.0)
+        fcg.add_data_flow("pin", "ship", 20.0 + 10.0 * k)
+        apps[uid] = PartitionedApplication(uid, fcg, [{"ship"}])
+        contexts.append(UserContext(MobileDevice(uid, profile=PROFILE), fcg))
+    system = MECSystem(EdgeServer(50.0), contexts)
+    placement = {uid: {0} for uid in apps}
+    return system, apps, placement
+
+
+class TestTracing:
+    def test_report_matches_untraced_run(self):
+        system, apps, placement = fixture_system()
+        plain = simulate_scheme(system, apps, placement)
+        traced, trace = traced_simulation(system, apps, placement)
+        assert traced.total_energy == pytest.approx(plain.total_energy)
+        assert traced.makespan == pytest.approx(plain.makespan)
+        assert len(trace.entries) == traced.events_processed
+
+    def test_trace_is_time_ordered(self):
+        system, apps, placement = fixture_system(3)
+        _, trace = traced_simulation(system, apps, placement)
+        assert trace.is_time_ordered()
+
+    def test_event_kinds_present(self):
+        system, apps, placement = fixture_system()
+        _, trace = traced_simulation(system, apps, placement)
+        kinds = {e.kind for e in trace.entries}
+        assert {"upload_begin", "upload_done", "service_done"} <= kinds
+
+    def test_fault_events_recorded_by_type(self):
+        system, apps, placement = fixture_system()
+        _, trace = traced_simulation(
+            system, apps, placement, faults=[ServerDegradation(time=0.5, factor=0.5)]
+        )
+        faults = trace.of_kind("fault")
+        assert len(faults) == 1
+        assert faults[0].subject == "ServerDegradation"
+
+    def test_per_user_filter(self):
+        system, apps, placement = fixture_system()
+        _, trace = traced_simulation(system, apps, placement)
+        u1_events = trace.for_user("u1")
+        assert u1_events
+        assert all(e.subject == "u1" for e in u1_events)
+
+    def test_render_and_clip(self):
+        system, apps, placement = fixture_system(3)
+        _, trace = traced_simulation(system, apps, placement)
+        full = trace.render()
+        assert full.count("\n") + 1 == len(trace.entries)
+        clipped = trace.render(limit=2)
+        assert "more)" in clipped
+
+    def test_json_export(self):
+        system, apps, placement = fixture_system()
+        _, trace = traced_simulation(system, apps, placement)
+        payload = json.loads(json.dumps(trace.to_dicts()))
+        assert payload[0]["index"] == 0
+        assert {"index", "time", "kind", "subject"} <= set(payload[0])
+
+    def test_engine_restored_after_tracing(self):
+        """Tracing must not leak the patched queue into later runs."""
+        system, apps, placement = fixture_system()
+        traced_simulation(system, apps, placement)
+        import repro.simulation.engine as engine_module
+        from repro.simulation.events import EventQueue
+
+        assert engine_module.EventQueue is EventQueue
+        # And a plain run still works.
+        assert simulate_scheme(system, apps, placement).makespan > 0

@@ -1,0 +1,120 @@
+"""Tests for utility modules: RNG, stopwatch, validation."""
+
+import time
+
+import pytest
+
+from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.timer import Stopwatch, time_call
+from repro.utils.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+
+class TestRNG:
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "netgen", 250) == derive_seed(7, "netgen", 250)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7) != derive_seed(8)
+
+    def test_spawn_independent_streams(self):
+        root = RandomSource(1)
+        a = root.spawn("left")
+        b = root.spawn("right")
+        seq_a = [a.randint(0, 1000) for _ in range(5)]
+        seq_b = [b.randint(0, 1000) for _ in range(5)]
+        assert seq_a != seq_b
+        # Re-spawning reproduces the stream.
+        fresh = RandomSource(1).spawn("left")
+        assert [fresh.randint(0, 1000) for _ in range(5)] == seq_a
+
+    def test_uniform_in_range(self):
+        rng = RandomSource(2)
+        for _ in range(100):
+            x = rng.uniform(3.0, 7.0)
+            assert 3.0 <= x <= 7.0
+
+    def test_choice_and_sample(self):
+        rng = RandomSource(3)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 2)
+        assert len(sample) == 2
+        assert len(set(sample)) == 2
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(4).choice([])
+
+    def test_shuffled_preserves_elements(self):
+        rng = RandomSource(5)
+        original = list(range(20))
+        shuffled = rng.shuffled(original)
+        assert sorted(shuffled) == original
+        assert original == list(range(20))  # input untouched
+
+    def test_default_seed(self):
+        a = RandomSource()
+        b = RandomSource()
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+
+class TestStopwatch:
+    def test_context_manager_laps(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.laps == 1
+        assert watch.elapsed >= 0.009
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_mean_lap(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch:
+                pass
+        assert watch.laps == 3
+        assert watch.mean_lap == pytest.approx(watch.elapsed / 3)
+        assert Stopwatch().mean_lap == 0.0
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.laps == 0
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestValidation:
+    def test_ensure_positive(self):
+        assert ensure_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError, match="x must be > 0"):
+            ensure_positive(0.0, "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(0.5, 0.0, 1.0, "x") == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0, "x")
