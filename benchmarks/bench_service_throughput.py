@@ -1,0 +1,69 @@
+"""Plan-service throughput: requests/sec and hit rate vs. pool size.
+
+Not a paper artifact: pins the serving layer's performance on the
+realistic pooled-app workload (many users, few distinct apps).  Each
+round replays the same arrival trace through a *cold* service, so the
+measured time covers 8 cold plans plus content-addressed cache hits for
+everything else; the worker-count parametrisation shows how much of the
+batching/queueing overhead the pool hides (planning is GIL-bound, so
+this measures coordination cost, not parallel speed-up).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import make_planner
+from repro.service import PlanService, ServiceConfig
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.traces import replay_arrivals
+
+from conftest import bench_profile
+
+POOL_SIZE = 8
+REQUESTS = 96
+
+
+@pytest.fixture(scope="module")
+def arrival_trace():
+    profile = dataclasses.replace(
+        bench_profile(),
+        distinct_graphs=POOL_SIZE,
+        multiuser_graph_size=min(bench_profile().multiuser_graph_size, 120),
+    )
+    workload = build_mec_system(REQUESTS, profile)
+    return replay_arrivals(workload, rate=200.0, seed=profile.seed)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_service_throughput_vs_pool_size(benchmark, arrival_trace, workers):
+    config = ServiceConfig(workers=workers, max_queue_depth=REQUESTS + 1)
+
+    def replay():
+        with PlanService(make_planner("spectral"), config) as service:
+            tickets = [service.submit(graph) for _, graph in arrival_trace]
+            responses = [ticket.result() for ticket in tickets]
+            return responses, service.planner_invocations
+
+    responses, invocations = benchmark(replay)
+    assert all(response.ok for response in responses)
+    hit_rate = 1.0 - invocations / len(responses)
+    assert hit_rate >= 0.9, f"hit rate {hit_rate:.3f} below 0.9"
+
+
+def test_service_cache_amortization(benchmark, arrival_trace):
+    """Warm-cache steady state: every request is a pure cache hit."""
+    service = PlanService(make_planner("spectral"), ServiceConfig(workers=2))
+    service.start()
+    for _, graph in arrival_trace[:POOL_SIZE]:
+        assert service.plan(graph).ok
+
+    def replay_warm():
+        return [service.plan(graph) for _, graph in arrival_trace]
+
+    responses = benchmark(replay_warm)
+    service.close()
+    assert all(response.ok for response in responses)
+    assert all(response.cached for response in responses)

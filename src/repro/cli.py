@@ -16,7 +16,10 @@ Commands:
 * ``compress``  — run Algorithm 1 on a workload graph, print quality
   metrics, optionally write a Graphviz DOT rendering of the clustering;
 * ``verify``    — run the evaluation and check every qualitative claim
-  of the paper (the reproduction ledger); non-zero exit on any failure.
+  of the paper (the reproduction ledger); non-zero exit on any failure;
+* ``serve-bench`` — replay a synthetic multi-user arrival trace through
+  the plan service (content-addressed cache + batching worker pool) and
+  print the service metrics report.
 
 Every command takes ``--seed`` and prints plain-text tables, so runs are
 reproducible and diffable.
@@ -109,6 +112,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     ver = sub.add_parser("verify", help="check every qualitative claim of the paper")
     ver.add_argument("--profile", choices=["quick", "paper"], default="quick")
+
+    serve = sub.add_parser(
+        "serve-bench", help="replay an arrival trace through the plan service"
+    )
+    serve.add_argument("--requests", type=int, default=200, help="arrivals to replay")
+    serve.add_argument("--pool", type=int, default=8, help="distinct apps in the pool")
+    serve.add_argument("--graph-size", type=int, default=120, help="functions per app")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--batch", type=int, default=16, help="flights per worker wakeup")
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--cache-capacity", type=int, default=64)
+    serve.add_argument("--rate", type=float, default=200.0, help="Poisson arrival rate")
+    serve.add_argument(
+        "--strategy", choices=["spectral", "maxflow", "kl"], default="spectral"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--spill", type=Path, default=None, help="plan-cache JSON spill file"
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast path (24 requests, 4 apps of 40 functions) for CI",
+    )
     return parser
 
 
@@ -347,6 +373,81 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.service import PlanService, ServiceConfig, plan_digest
+    from repro.utils.timer import Stopwatch
+    from repro.workloads.multiuser import build_mec_system
+    from repro.workloads.traces import replay_arrivals
+
+    if args.smoke:
+        args.requests, args.pool, args.graph_size, args.workers = 24, 4, 40, 2
+
+    profile = dataclasses.replace(
+        quick_profile(),
+        distinct_graphs=args.pool,
+        multiuser_graph_size=args.graph_size,
+        seed=2019 + args.seed,
+    )
+    workload = build_mec_system(args.requests, profile)
+    # Fresh graph objects per request: identity caching cannot help, only
+    # the service's content fingerprints can.
+    arrivals = replay_arrivals(workload, rate=args.rate, seed=args.seed)
+
+    planner = make_planner(args.strategy)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        max_batch=args.batch,
+        cache_capacity=args.cache_capacity,
+        spill_path=str(args.spill) if args.spill is not None else None,
+    )
+    watch = Stopwatch()
+    with PlanService(planner, config) as service:
+        with watch:
+            tickets = [service.submit(graph) for _, graph in arrivals]
+            responses = [ticket.result() for ticket in tickets]
+        invocations = service.planner_invocations
+        report = service.metrics_report()
+        cached_digests = {}
+        for app in workload.distinct_graphs:
+            response = service.plan(app)
+            if response.ok:
+                cached_digests[app.app_name] = plan_digest(response.plan)
+
+    ok = sum(1 for r in responses if r.ok)
+    shed = sum(1 for r in responses if r.error is not None and r.error.code == "shed")
+    errored = len(responses) - ok - shed
+    hit_rate = 0.0 if ok == 0 else max(0.0, 1.0 - invocations / ok)
+
+    # Parity check: a cold plan of each pool app (planned fresh by a
+    # separate planner) must serialise byte-identically to what the
+    # service answered from its cache.
+    parity_planner = make_planner(args.strategy)
+    identical = sum(
+        1
+        for app in workload.distinct_graphs
+        if cached_digests.get(app.app_name) == plan_digest(parity_planner.plan_user(app))
+    )
+
+    throughput = len(responses) / watch.elapsed if watch.elapsed > 0 else 0.0
+    print(
+        f"serve-bench: {len(responses)} requests over {args.pool} distinct apps "
+        f"({args.graph_size} functions), {args.workers} workers"
+    )
+    print(report)
+    print(
+        f"requests ok/shed/errored: {ok}/{shed}/{errored}; "
+        f"throughput {throughput:.1f} req/s"
+    )
+    print(f"service hit rate: {hit_rate:.3f} (planner invocations: {invocations})")
+    print(f"plan parity: cached == cold for {identical}/{len(workload.distinct_graphs)} apps")
+    if args.spill is not None:
+        print(f"spilled plan cache to {args.spill}")
+    return 0
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "figures": cmd_figures,
@@ -357,6 +458,7 @@ _COMMANDS = {
     "sensitivity": cmd_sensitivity,
     "compress": cmd_compress,
     "verify": cmd_verify,
+    "serve-bench": cmd_serve_bench,
 }
 
 

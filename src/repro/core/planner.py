@@ -7,14 +7,17 @@ configured cut strategy, and expand the two sides back to function sets
 parts and run Algorithm 2's greedy to place them.
 
 Identical applications are planned once: ``plan_system`` caches per
-:class:`~repro.callgraph.model.FunctionCallGraph` object identity, which
-the multi-user workloads exploit by drawing users from a small graph pool.
+*content fingerprint* (see :mod:`repro.service.fingerprint`), so
+structurally identical graphs share plans even when they arrive as
+distinct objects — the realistic multi-user case.  Configs that cannot
+be fingerprinted (custom objects without a canonical encoding) fall back
+to object-identity keying, which still covers the graph-pool workloads.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import Hashable, Mapping
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.compression.compressor import GraphCompressor
@@ -26,6 +29,7 @@ from repro.mec.greedy import generate_offloading_scheme
 from repro.mec.scheme import PartitionedApplication
 from repro.mec.system import MECSystem
 from repro.partition.refinement import fm_refine
+from repro.utils.timer import Stopwatch
 
 
 class OffloadingPlanner:
@@ -60,14 +64,19 @@ class OffloadingPlanner:
                 compressed_edges=0,
                 original_nodes=0,
                 original_edges=0,
+                stage_seconds={"compress": 0.0, "cut": 0.0},
             )
+
+        compress_watch = Stopwatch()
+        cut_watch = Stopwatch()
 
         if self.config.skip_compression:
             working = offloadable
             expand = lambda ids: set(ids)  # noqa: E731 - trivial identity
             rounds = 0
         else:
-            result = self._compressor.compress(offloadable)
+            with compress_watch:
+                result = self._compressor.compress(offloadable)
             working = result.compressed.graph
             compressed = result.compressed
             expand = lambda ids: compressed.expand(ids)  # noqa: E731
@@ -85,12 +94,14 @@ class OffloadingPlanner:
                 cut_values.append(0.0)
                 continue
             if self.config.multiway_parts > 2:
-                self._plan_multiway(subgraph, expand, parts, bisections, cut_values)
+                with cut_watch:
+                    self._plan_multiway(subgraph, expand, parts, bisections, cut_values)
                 continue
-            outcome = self.cut_strategy(subgraph)
-            if self.config.refine_cuts and outcome.part_one and outcome.part_two:
-                one, two, value = fm_refine(subgraph, outcome.part_one)
-                outcome = CutOutcome(one, two, value)
+            with cut_watch:
+                outcome = self.cut_strategy(subgraph)
+                if self.config.refine_cuts and outcome.part_one and outcome.part_two:
+                    one, two, value = fm_refine(subgraph, outcome.part_one)
+                    outcome = CutOutcome(one, two, value)
             index_one = self._add_part(parts, expand(outcome.part_one))
             side_one = {index_one} if index_one is not None else set()
             index_two = self._add_part(parts, expand(outcome.part_two))
@@ -108,6 +119,10 @@ class OffloadingPlanner:
             original_edges=original_edges,
             cut_values=cut_values,
             propagation_rounds=rounds,
+            stage_seconds={
+                "compress": compress_watch.elapsed,
+                "cut": cut_watch.elapsed,
+            },
         )
 
     def _plan_multiway(
@@ -158,12 +173,17 @@ class OffloadingPlanner:
     ) -> PlanResult:
         """Plan every user's application and run Algorithm 2's greedy.
 
-        *call_graphs* maps user id to the application; identical graph
-        objects (``is``-identical) are planned once and their parts reused.
+        *call_graphs* maps user id to the application; structurally
+        identical graphs (same content fingerprint — not merely
+        ``is``-identical objects) are planned once and their parts
+        reused.  When the planner config cannot be fingerprinted the
+        keying degrades to object identity, preserving the old pool
+        behaviour.
         """
         started = time.perf_counter()
 
-        plan_cache: dict[int, UserPlan] = {}
+        plan_cache: dict[Hashable, UserPlan] = {}
+        key_memo: dict[int, Hashable] = {}
         user_plans: dict[str, UserPlan] = {}
         apps: dict[str, PartitionedApplication] = {}
         bisections: dict[str, list[tuple[set[int], set[int]]]] = {}
@@ -172,7 +192,10 @@ class OffloadingPlanner:
             call_graph = call_graphs.get(user.user_id)
             if call_graph is None:
                 raise KeyError(f"no call graph supplied for user {user.user_id!r}")
-            cache_key = id(call_graph)
+            cache_key = key_memo.get(id(call_graph))
+            if cache_key is None:
+                cache_key = self._plan_key(call_graph)
+                key_memo[id(call_graph)] = cache_key
             if cache_key not in plan_cache:
                 plan_cache[cache_key] = self.plan_user(call_graph)
             plan = plan_cache[cache_key]
@@ -184,13 +207,17 @@ class OffloadingPlanner:
             )
             bisections[user.user_id] = plan.bisections
 
-        greedy = generate_offloading_scheme(
-            system,
-            apps,
-            bisections,
-            weights=self.config.objective,
-            placement_mode=self.config.initial_placement_mode,
-        )
+        greedy_watch = Stopwatch()
+        with greedy_watch:
+            greedy = generate_offloading_scheme(
+                system,
+                apps,
+                bisections,
+                weights=self.config.objective,
+                placement_mode=self.config.initial_placement_mode,
+            )
+        for plan in plan_cache.values():
+            plan.stage_seconds["greedy"] = greedy_watch.elapsed
         elapsed = time.perf_counter() - started
         return PlanResult(
             scheme=greedy.scheme,
@@ -200,6 +227,23 @@ class OffloadingPlanner:
             planning_seconds=elapsed,
             strategy_name=self.strategy_name,
         )
+
+    def _plan_key(self, call_graph: FunctionCallGraph) -> Hashable:
+        """Content-fingerprint cache key with an identity fallback.
+
+        The service layer shares the exact same keying (see
+        :func:`repro.service.fingerprint.request_fingerprint`), so plans
+        cached here and plans cached there never disagree about what
+        counts as "the same request".
+        """
+        # Local import: repro.service sits above repro.core in the layer
+        # order; only this helper reaches up, and only lazily.
+        from repro.service.fingerprint import FingerprintError, request_fingerprint
+
+        try:
+            return request_fingerprint(call_graph, self.config, self.strategy_name)
+        except FingerprintError:
+            return ("id", id(call_graph))
 
     def cut_graph(self, graph: WeightedGraph) -> CutOutcome:
         """Expose the configured cut strategy (used by ablation benches)."""

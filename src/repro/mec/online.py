@@ -74,18 +74,31 @@ class OnlinePlanner:
         )
         self.state = OnlineState()
 
-    def admit(self, device: MobileDevice, call_graph: FunctionCallGraph) -> AdmissionRecord:
+    def admit(
+        self,
+        device: MobileDevice,
+        call_graph: FunctionCallGraph,
+        plan: "UserPlan | None" = None,
+    ) -> AdmissionRecord:
         """Plan the newcomer against the current load; freeze everyone else.
 
         The newcomer's application is compressed and cut exactly as in the
         offline pipeline; Algorithm 2's greedy then runs with *only* the
         newcomer's parts as candidates — existing users contribute their
         (frozen) server loads, so the newcomer sees realistic waiting.
+
+        A precomputed *plan* (e.g. a content-addressed cache hit from
+        :class:`repro.service.server.PlanService`) skips the compress/cut
+        stages entirely; only the newcomer's greedy placement runs.  The
+        caller owns the guarantee that *plan* was produced from an
+        identical graph under an identical config — the service's
+        fingerprint keying provides exactly that.
         """
         if any(u.user_id == device.device_id for u in self.state.users):
             raise ValueError(f"user {device.device_id!r} already admitted")
 
-        plan = self._planner.plan_user(call_graph)
+        if plan is None:
+            plan = self._planner.plan_user(call_graph)
         user = UserContext(device, call_graph)
         self.state.users.append(user)
         self.state.apps[device.device_id] = PartitionedApplication(

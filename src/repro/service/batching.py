@@ -1,0 +1,185 @@
+"""Request queue with single-flight coalescing and batch draining.
+
+Identical plan requests are the common case at the edge (a handful of
+popular apps, millions of users), so the queue groups requests into
+*flights* keyed by their content fingerprint: however many requests name
+the same fingerprint, at most one flight is ever pending or being
+planned, and every attached request receives the one shared outcome.
+A flight stays coalescable from submission until the worker resolves it
+— a request arriving while "its" plan is already being computed attaches
+to the in-progress flight rather than enqueueing new work.
+
+The queue is *bounded by flight count*: distinct fingerprints beyond
+``max_depth`` are refused with :class:`QueueFullError`, which the
+service turns into a load-shed response.  Attaching to an existing
+flight never sheds (it adds no work).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.callgraph.model import FunctionCallGraph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.service.server import PlanResponse
+
+
+class QueueFullError(RuntimeError):
+    """Raised when a new flight would exceed the queue's bounded depth."""
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class PlanRequest:
+    """One caller's plan request (identity + payload)."""
+
+    graph: FunctionCallGraph
+    key: str
+    """Content fingerprint of (graph, config, strategy)."""
+
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    submitted_at: float = 0.0
+
+
+class Flight:
+    """All in-flight requests sharing one fingerprint, plus their outcome."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.requests: list[PlanRequest] = []
+        self._done = threading.Event()
+        self._response: "PlanResponse | None" = None
+
+    def attach(self, request: PlanRequest) -> None:
+        self.requests.append(request)
+
+    def resolve(self, response: "PlanResponse") -> None:
+        """Publish the shared outcome and wake every waiter."""
+        self._response = response
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> "PlanResponse | None":
+        """Block until resolved; ``None`` on timeout."""
+        if not self._done.wait(timeout):
+            return None
+        return self._response
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def response(self) -> "PlanResponse | None":
+        return self._response
+
+
+class RequestQueue:
+    """Bounded FIFO of flights with single-flight dedup.
+
+    ``submit`` coalesces; ``next_batch`` hands workers up to
+    ``max_batch`` *distinct* flights at a time.  ``close`` wakes blocked
+    workers so the pool can drain and exit.
+    """
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._pending: list[Flight] = []
+        self._in_flight: dict[str, Flight] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def submit(self, request: PlanRequest) -> tuple[Flight, bool]:
+        """Enqueue *request*; returns ``(flight, created)``.
+
+        ``created`` is False when the request piggybacked on an existing
+        flight (the single-flight path).  Raises :class:`QueueFullError`
+        when a new flight is needed but ``max_depth`` flights are
+        already unresolved, and ``RuntimeError`` after :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            flight = self._in_flight.get(request.key)
+            if flight is not None:
+                flight.attach(request)
+                return flight, False
+            if len(self._in_flight) >= self.max_depth:
+                raise QueueFullError(
+                    f"queue depth {self.max_depth} exceeded ({len(self._in_flight)} in flight)"
+                )
+            flight = Flight(request.key)
+            flight.attach(request)
+            self._in_flight[request.key] = flight
+            self._pending.append(flight)
+            self._cond.notify()
+            return flight, True
+
+    def next_batch(self, max_batch: int = 8, timeout: float | None = None) -> list[Flight]:
+        """Pop up to *max_batch* pending flights, blocking for the first.
+
+        Returns an empty list when the queue is closed (or the timeout
+        expires) with nothing pending — the worker-pool exit signal.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        with self._cond:
+            while not self._pending and not self._closed:
+                if not self._cond.wait(timeout):
+                    return []
+            batch = self._pending[:max_batch]
+            del self._pending[: len(batch)]
+            return batch
+
+    def mark_resolved(self, flight: Flight) -> None:
+        """Drop *flight* from the dedup map (call after ``resolve``)."""
+        with self._cond:
+            self._in_flight.pop(flight.key, None)
+
+    @property
+    def depth(self) -> int:
+        """Number of unresolved flights (pending + being planned)."""
+        with self._cond:
+            return len(self._in_flight)
+
+    @property
+    def pending(self) -> int:
+        """Number of flights not yet picked up by a worker."""
+        with self._cond:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Refuse new submissions and wake every blocked worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def group_batch(flights: list[Flight]) -> dict[str, list[Flight]]:
+    """Group a drained batch by fingerprint (defensive: submit-side dedup
+    already guarantees one flight per key, so groups are singletons, but
+    workers treat the batch as untrusted input)."""
+    groups: dict[str, list[Flight]] = {}
+    for flight in flights:
+        groups.setdefault(flight.key, []).append(flight)
+    return groups
+
+
+__all__ = [
+    "PlanRequest",
+    "Flight",
+    "RequestQueue",
+    "QueueFullError",
+    "group_batch",
+]

@@ -1,0 +1,177 @@
+"""Lightweight service metrics: counters, gauges, histograms, one report.
+
+No external metrics stack is available in the container, and the repo's
+plain-text reporting convention (``render_table``) covers the need: the
+registry collects numbers under the service's locks and renders one
+diffable report at the end of a run.  Histograms keep a bounded sample
+window (most recent ``window`` observations) so a long-lived service
+cannot grow without bound; percentiles are computed with the
+nearest-rank rule over that window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, pool size, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by *delta* (for up/down tracking)."""
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bounded-window distribution (latencies, batch sizes, ...)."""
+
+    def __init__(self, name: str, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.name = name
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._samples.append(float(value))
+            self._count += 1
+            self._total += float(value)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not just the window)."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean over *all* observations (exact, not windowed)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return self._total / self._count
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the current window; 0.0 if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[rank]
+
+
+class MetricsRegistry:
+    """Named metric factory + plain-text report renderer.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so service
+    components can reference metrics by name without wiring.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, window=window)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """All metric values as plain data (for tests and JSON output)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        data: dict[str, dict[str, float]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, counter in sorted(counters.items()):
+            data["counters"][name] = counter.value
+        for name, gauge in sorted(gauges.items()):
+            data["gauges"][name] = gauge.value
+        for name, hist in sorted(histograms.items()):
+            data["histograms"][name] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": hist.percentile(0.50),
+                "p95": hist.percentile(0.95),
+                "p99": hist.percentile(0.99),
+            }
+        return data
+
+    def render_report(self) -> str:
+        """Render every metric as one plain-text table."""
+        from repro.experiments.reporting import render_table
+
+        rows: list[list[object]] = []
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            rows.append([name, "counter", value, "", "", ""])
+        for name, value in snap["gauges"].items():
+            rows.append([name, "gauge", value, "", "", ""])
+        for name, stats in snap["histograms"].items():
+            rows.append(
+                [
+                    name,
+                    "histogram",
+                    stats["count"],
+                    f"{stats['mean']:.6f}",
+                    f"{stats['p50']:.6f}",
+                    f"{stats['p99']:.6f}",
+                ]
+            )
+        return render_table(["metric", "kind", "count/value", "mean", "p50", "p99"], rows)

@@ -1,0 +1,224 @@
+"""LRU plan cache keyed by content fingerprint, with JSON spill.
+
+The cache stores finished :class:`~repro.core.results.UserPlan` objects.
+A plan is pure derived data — everything in it is a function of the
+(graph, config) pair the fingerprint names — so sharing one cached plan
+across requests, threads and (via :meth:`PlanCache.save` /
+:meth:`PlanCache.load`) process restarts is safe by construction.
+
+Counters (hits / misses / evictions) are maintained under the same lock
+as the map itself so the service metrics never see torn reads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.results import UserPlan
+
+CACHE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# UserPlan <-> JSON
+# ----------------------------------------------------------------------
+def plan_to_dict(plan: UserPlan) -> dict[str, Any]:
+    """Serialise *plan* deterministically (sets become sorted lists)."""
+    return {
+        "app_name": plan.app_name,
+        "parts": [sorted(part) for part in plan.parts],
+        "bisections": [
+            [sorted(side_one), sorted(side_two)]
+            for side_one, side_two in plan.bisections
+        ],
+        "compressed_nodes": plan.compressed_nodes,
+        "compressed_edges": plan.compressed_edges,
+        "original_nodes": plan.original_nodes,
+        "original_edges": plan.original_edges,
+        "cut_values": list(plan.cut_values),
+        "propagation_rounds": plan.propagation_rounds,
+        "stage_seconds": dict(plan.stage_seconds),
+    }
+
+
+def plan_digest(plan: UserPlan) -> str:
+    """Canonical hash of the plan *content* (timings excluded).
+
+    ``stage_seconds`` is observability metadata — wall-clock noise that
+    differs between two otherwise identical plans — so equality of plan
+    digests is the right notion of "byte-identical plans" for parity
+    checks between cached and cold planning.
+    """
+    import hashlib
+
+    payload = plan_to_dict(plan)
+    del payload["stage_seconds"]
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def plan_from_dict(payload: dict[str, Any]) -> UserPlan:
+    """Reconstruct a :class:`UserPlan` written by :func:`plan_to_dict`."""
+    return UserPlan(
+        app_name=payload["app_name"],
+        parts=[frozenset(part) for part in payload["parts"]],
+        bisections=[
+            (set(side_one), set(side_two))
+            for side_one, side_two in payload["bisections"]
+        ],
+        compressed_nodes=payload["compressed_nodes"],
+        compressed_edges=payload["compressed_edges"],
+        original_nodes=payload["original_nodes"],
+        original_edges=payload["original_edges"],
+        cut_values=list(payload.get("cut_values", [])),
+        propagation_rounds=payload.get("propagation_rounds", 0),
+        stage_seconds=dict(payload.get("stage_seconds", {})),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses); 0.0 before any lookup."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class PlanCache:
+    """Thread-safe LRU cache of plans keyed by request fingerprint.
+
+    >>> cache = PlanCache(capacity=2)
+    >>> cache.put("a", UserPlan("app", [], [], 0, 0, 0, 0))
+    >>> cache.get("a") is not None
+    True
+    >>> cache.get("missing") is None
+    True
+    """
+
+    def __init__(self, capacity: int = 256, spill_path: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        self._entries: OrderedDict[str, UserPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> UserPlan | None:
+        """Return the cached plan for *key* (refreshing LRU order) or None."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return plan
+
+    def put(self, key: str, plan: UserPlan) -> None:
+        """Insert (or refresh) *plan* under *key*, evicting the LRU entry."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        """Snapshot of the cached keys, LRU-first."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    # ------------------------------------------------------------------
+    # Spill
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the cache contents to *path* (default: the spill path).
+
+        Entries are stored LRU-first so a later :meth:`load` reproduces
+        the recency order exactly.
+        """
+        target = Path(path) if path is not None else self.spill_path
+        if target is None:
+            raise ValueError("no path given and no spill_path configured")
+        with self._lock:
+            payload = {
+                "version": CACHE_FORMAT_VERSION,
+                "capacity": self.capacity,
+                "entries": [
+                    {"key": key, "plan": plan_to_dict(plan)}
+                    for key, plan in self._entries.items()
+                ],
+            }
+        target.write_text(json.dumps(payload, indent=2))
+        return target
+
+    def load(self, path: str | Path | None = None) -> int:
+        """Merge entries previously written by :meth:`save`; return count.
+
+        A missing file is not an error (a cold service simply starts
+        empty); a version mismatch is (silently reinterpreting a stale
+        format could serve wrong plans).
+        """
+        source = Path(path) if path is not None else self.spill_path
+        if source is None:
+            raise ValueError("no path given and no spill_path configured")
+        if not source.exists():
+            return 0
+        payload = json.loads(source.read_text())
+        version = payload.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan-cache version {version!r} "
+                f"(expected {CACHE_FORMAT_VERSION})"
+            )
+        loaded = 0
+        with self._lock:
+            for entry in payload["entries"]:
+                self.put(entry["key"], plan_from_dict(entry["plan"]))
+                loaded += 1
+        return loaded

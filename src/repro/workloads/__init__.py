@@ -16,7 +16,13 @@ from repro.workloads.multiuser import (
     build_mec_system,
     poisson_arrivals,
 )
-from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.traces import (
+    call_graph_from_dict,
+    call_graph_to_dict,
+    load_trace,
+    replay_arrivals,
+    save_trace,
+)
 from repro.workloads.netgen import NetgenConfig, netgen_graph, paper_network_configs
 from repro.workloads.profiles import ExperimentProfile, paper_profile, quick_profile
 
@@ -31,6 +37,9 @@ __all__ = [
     "poisson_arrivals",
     "save_trace",
     "load_trace",
+    "call_graph_to_dict",
+    "call_graph_from_dict",
+    "replay_arrivals",
     "ExperimentProfile",
     "paper_profile",
     "quick_profile",

@@ -22,7 +22,8 @@ from repro.workloads.multiuser import MultiUserWorkload
 TRACE_FORMAT_VERSION = 1
 
 
-def _call_graph_to_dict(fcg: FunctionCallGraph) -> dict[str, Any]:
+def call_graph_to_dict(fcg: FunctionCallGraph) -> dict[str, Any]:
+    """Serialise one call graph as plain JSON-compatible data."""
     return {
         "app_name": fcg.app_name,
         "functions": [
@@ -40,7 +41,8 @@ def _call_graph_to_dict(fcg: FunctionCallGraph) -> dict[str, Any]:
     }
 
 
-def _call_graph_from_dict(payload: dict[str, Any]) -> FunctionCallGraph:
+def call_graph_from_dict(payload: dict[str, Any]) -> FunctionCallGraph:
+    """Rebuild a call graph written by :func:`call_graph_to_dict`."""
     fcg = FunctionCallGraph(payload["app_name"])
     for entry in payload["functions"]:
         fcg.add_function(
@@ -60,7 +62,7 @@ def save_trace(workload: MultiUserWorkload, path: str | Path) -> None:
     payload = {
         "version": TRACE_FORMAT_VERSION,
         "server_capacity": system.server.total_capacity,
-        "graph_pool": [_call_graph_to_dict(g) for g in workload.distinct_graphs],
+        "graph_pool": [call_graph_to_dict(g) for g in workload.distinct_graphs],
         "users": [
             {
                 "user_id": user.user_id,
@@ -87,7 +89,7 @@ def load_trace(path: str | Path) -> MultiUserWorkload:
             f"unsupported trace version {version!r} (expected {TRACE_FORMAT_VERSION})"
         )
 
-    pool = [_call_graph_from_dict(entry) for entry in payload["graph_pool"]]
+    pool = [call_graph_from_dict(entry) for entry in payload["graph_pool"]]
     users: list[UserContext] = []
     call_graphs: dict[str, FunctionCallGraph] = {}
     user_graph_index: dict[str, int] = {}
@@ -109,3 +111,39 @@ def load_trace(path: str | Path) -> MultiUserWorkload:
         distinct_graphs=pool,
         user_graph_index=user_graph_index,
     )
+
+
+def replay_arrivals(
+    workload: MultiUserWorkload,
+    rate: float | None = None,
+    seed: int = 0,
+    fresh_objects: bool = True,
+) -> list[tuple[str, FunctionCallGraph]]:
+    """Turn *workload* into an arrival-ordered request stream.
+
+    This is the serving-layer replay hook: each element is one plan
+    request ``(user_id, call_graph)``.  With *rate* set, users arrive in
+    Poisson order (see :func:`repro.workloads.multiuser.poisson_arrivals`);
+    otherwise in user-id order.
+
+    With ``fresh_objects=True`` (the default) every request carries its
+    own reconstructed :class:`FunctionCallGraph` — structurally identical
+    to the pool entry but a *distinct object*, exactly how independent
+    devices submit the same popular app.  Identity-based caching gains
+    nothing on such a stream; content-addressed caching (the plan
+    service) collapses it back to one plan per pool entry.
+    """
+    from repro.workloads.multiuser import poisson_arrivals
+
+    user_ids = [user.user_id for user in workload.system.users]
+    if rate is not None:
+        times = poisson_arrivals(user_ids, rate, seed=seed)
+        user_ids = sorted(user_ids, key=lambda uid: (times[uid], uid))
+
+    requests: list[tuple[str, FunctionCallGraph]] = []
+    for user_id in user_ids:
+        graph = workload.call_graphs[user_id]
+        if fresh_objects:
+            graph = call_graph_from_dict(call_graph_to_dict(graph))
+        requests.append((user_id, graph))
+    return requests
