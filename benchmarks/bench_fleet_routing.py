@@ -1,0 +1,70 @@
+"""Fleet admission throughput and balance per routing policy.
+
+Not a paper artifact: pins the fleet layer's behaviour on the pooled-app
+workload.  Each round replays the same arrival trace through a *cold*
+fleet, so the measured time covers the cold plans plus per-server
+content-addressed cache hits, and the assertions pin the two properties
+the routing policies are for — fingerprint affinity preserves the
+single-server cache hit rate, and power-of-two-choices keeps the load
+spread near-flat (max/mean <= 1.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import EdgeFleet, make_routing_policy
+from repro.mec.devices import MobileDevice
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.traces import replay_arrivals
+
+from conftest import bench_profile
+
+POOL_SIZE = 6
+REQUESTS = 48
+SERVERS = 4
+
+
+@pytest.fixture(scope="module")
+def fleet_profile():
+    return dataclasses.replace(
+        bench_profile(),
+        distinct_graphs=POOL_SIZE,
+        multiuser_graph_size=min(bench_profile().multiuser_graph_size, 60),
+    )
+
+
+@pytest.fixture(scope="module")
+def arrival_trace(fleet_profile):
+    workload = build_mec_system(REQUESTS, fleet_profile)
+    return replay_arrivals(workload, rate=200.0, seed=fleet_profile.seed)
+
+
+@pytest.mark.parametrize(
+    "policy", ["round-robin", "least-loaded", "power-of-two", "affinity"]
+)
+def test_fleet_admission_per_policy(benchmark, arrival_trace, fleet_profile, policy):
+    capacity = fleet_profile.server_capacity_per_user * REQUESTS / SERVERS
+
+    def replay():
+        fleet = EdgeFleet(
+            SERVERS, capacity, routing=make_routing_policy(policy, seed=1)
+        )
+        for user_id, graph in arrival_trace:
+            fleet.admit(MobileDevice(user_id, profile=fleet_profile.device), graph)
+        return fleet.stats(), fleet.total_consumption()
+
+    stats, consumption = benchmark(replay)
+    assert stats.users == REQUESTS
+    assert stats.degraded_users == 0
+    assert consumption.combined() > 0
+    if policy == "power-of-two":
+        assert stats.imbalance <= 1.5, f"max/mean {stats.imbalance:.2f} above 1.5"
+    if policy == "affinity":
+        single_rate = (REQUESTS - POOL_SIZE) / REQUESTS
+        assert stats.cache_hit_rate >= single_rate - 0.10, (
+            f"affinity hit rate {stats.cache_hit_rate:.3f} more than 10% below "
+            f"the single-server rate {single_rate:.3f}"
+        )

@@ -19,7 +19,11 @@ Commands:
   of the paper (the reproduction ledger); non-zero exit on any failure;
 * ``serve-bench`` — replay a synthetic multi-user arrival trace through
   the plan service (content-addressed cache + batching worker pool) and
-  print the service metrics report.
+  print the service metrics report;
+* ``fleet-bench`` — replay an arrival trace over a multi-server edge
+  fleet once per routing policy, reporting load balance, aggregate
+  plan-cache hit rate and ``E + T`` vs. a single server of equal total
+  capacity.
 
 Every command takes ``--seed`` and prints plain-text tables, so runs are
 reproducible and diffable.
@@ -134,6 +138,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--smoke", action="store_true",
         help="tiny fast path (24 requests, 4 apps of 40 functions) for CI",
+    )
+
+    fleet = sub.add_parser(
+        "fleet-bench", help="compare fleet routing policies on an arrival trace"
+    )
+    fleet.add_argument("--requests", type=int, default=48, help="arrivals to replay")
+    fleet.add_argument("--pool", type=int, default=4, help="distinct apps in the pool")
+    fleet.add_argument("--graph-size", type=int, default=60, help="functions per app")
+    fleet.add_argument("--servers", type=int, default=4, help="fleet size")
+    fleet.add_argument(
+        "--policies", nargs="*", default=None,
+        help="routing policies to compare (default: all registered)",
+    )
+    fleet.add_argument(
+        "--max-users-per-server", type=int, default=None,
+        help="admission cap per server (beyond it users degrade to all-local)",
+    )
+    fleet.add_argument(
+        "--strategy", choices=["spectral", "maxflow", "kl"], default="spectral"
+    )
+    fleet.add_argument("--rate", type=float, default=200.0, help="Poisson arrival rate")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast path (16 requests, 4 apps of 30 functions, 4 servers) for CI",
     )
     return parser
 
@@ -441,10 +470,83 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"requests ok/shed/errored: {ok}/{shed}/{errored}; "
         f"throughput {throughput:.1f} req/s"
     )
+    latency = service.metrics.histogram("request_latency_seconds")
+    print(
+        f"request latency p50/p95: "
+        f"{1000 * latency.percentile(0.50):.2f}ms/{1000 * latency.percentile(0.95):.2f}ms"
+    )
     print(f"service hit rate: {hit_rate:.3f} (planner invocations: {invocations})")
     print(f"plan parity: cached == cold for {identical}/{len(workload.distinct_graphs)} apps")
     if args.spill is not None:
         print(f"spilled plan cache to {args.spill}")
+    return 0
+
+
+def cmd_fleet_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.fleet import run_fleet_routing_experiment
+    from repro.fleet.routing import ROUTING_POLICIES
+
+    if args.smoke:
+        args.requests, args.pool, args.graph_size, args.servers = 16, 4, 30, 4
+
+    policies = args.policies or list(ROUTING_POLICIES)
+    unknown = sorted(set(policies) - set(ROUTING_POLICIES))
+    if unknown:
+        print(
+            f"error: unknown routing policies {unknown}; "
+            f"expected from {list(ROUTING_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    profile = dataclasses.replace(
+        quick_profile(),
+        distinct_graphs=args.pool,
+        multiuser_graph_size=args.graph_size,
+        seed=2019 + args.seed,
+    )
+    comparison = run_fleet_routing_experiment(
+        n_users=args.requests,
+        n_servers=args.servers,
+        profile=profile,
+        policies=policies,
+        strategy=args.strategy,
+        rate=args.rate,
+        seed=args.seed,
+        max_users_per_server=args.max_users_per_server,
+    )
+    single = comparison.single
+    print(
+        f"fleet-bench: {args.requests} requests over {args.pool} distinct apps "
+        f"({args.graph_size} functions), {args.servers} servers"
+    )
+    print(
+        render_table(
+            ["policy", "servers", "users", "degraded", "max/mean", "hit rate",
+             "E", "T", "E+T", "vs single"],
+            [
+                [
+                    row.policy,
+                    row.servers,
+                    row.users,
+                    row.degraded,
+                    f"{row.imbalance:.2f}",
+                    f"{row.hit_rate:.3f}",
+                    f"{row.energy:.2f}",
+                    f"{row.time:.2f}",
+                    f"{row.combined:.2f}",
+                    f"{row.vs_single:.3f}",
+                ]
+                for row in [*comparison.rows, single]
+            ],
+        )
+    )
+    print(
+        f"single server (equal total capacity): E+T {single.combined:.2f}, "
+        f"hit rate {single.hit_rate:.3f}"
+    )
     return 0
 
 
@@ -459,6 +561,7 @@ _COMMANDS = {
     "compress": cmd_compress,
     "verify": cmd_verify,
     "serve-bench": cmd_serve_bench,
+    "fleet-bench": cmd_fleet_bench,
 }
 
 

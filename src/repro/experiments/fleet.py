@@ -1,0 +1,121 @@
+"""Fleet routing-policy comparison (extension beyond the paper).
+
+Replays one arrival trace through an :class:`~repro.fleet.EdgeFleet`
+once per routing policy and once through a *single* server of equal
+total capacity, and reports what the fleet layer is supposed to deliver:
+load balance (max/mean admitted users), aggregate plan-cache hit rate,
+and fleet-wide ``E + T`` relative to the monolithic baseline.  The
+single-server row is the control: sharding cannot beat one big server
+under the paper's capacity-sharing model, so the interesting question
+is how little each policy gives up — and fingerprint-affinity routing
+should give up (nearly) nothing on cache hit rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fleet.fleet import EdgeFleet
+from repro.fleet.routing import ROUTING_POLICIES, make_routing_policy
+from repro.mec.devices import MobileDevice
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.profiles import ExperimentProfile, quick_profile
+from repro.workloads.traces import replay_arrivals
+
+
+@dataclass(frozen=True)
+class FleetPolicyRow:
+    """One policy's outcome on the shared arrival trace."""
+
+    policy: str
+    servers: int
+    users: int
+    degraded: int
+    imbalance: float
+    """max/mean admitted users across servers (1.0 = perfectly even)."""
+
+    hit_rate: float
+    """Aggregate plan-cache hit rate across every server's cache."""
+
+    energy: float
+    time: float
+    combined: float
+    vs_single: float
+    """``combined / single-server combined`` (1.0 = no sharding cost)."""
+
+
+@dataclass(frozen=True)
+class FleetRoutingComparison:
+    """All policy rows plus the single-big-server control row."""
+
+    rows: list[FleetPolicyRow]
+    single: FleetPolicyRow
+
+
+def _replay(
+    fleet: EdgeFleet,
+    arrivals: Sequence[tuple[str, object]],
+    profile: ExperimentProfile,
+) -> tuple[float, float, float]:
+    for user_id, graph in arrivals:
+        fleet.admit(MobileDevice(user_id, profile=profile.device), graph)
+    consumption = fleet.total_consumption()
+    return consumption.energy, consumption.time, consumption.combined()
+
+
+def run_fleet_routing_experiment(
+    n_users: int = 48,
+    n_servers: int = 4,
+    profile: ExperimentProfile | None = None,
+    policies: Sequence[str] = ROUTING_POLICIES,
+    strategy: str = "spectral",
+    rate: float = 200.0,
+    seed: int = 0,
+    max_users_per_server: int | None = None,
+) -> FleetRoutingComparison:
+    """Compare routing policies on one trace; include the 1-server control.
+
+    The fleet's total capacity always equals the single server's
+    (``profile.server_capacity_per_user * n_users``), split evenly over
+    *n_servers*, so the comparison isolates the *sharding* cost from any
+    provisioning difference.
+    """
+    profile = profile or quick_profile()
+    workload = build_mec_system(n_users, profile)
+    arrivals = replay_arrivals(workload, rate=rate, seed=seed)
+    total_capacity = profile.server_capacity_per_user * n_users
+
+    def run(policy_name: str, servers: int) -> FleetPolicyRow:
+        fleet = EdgeFleet(
+            servers,
+            total_capacity / servers,
+            strategy=strategy,
+            routing=make_routing_policy(policy_name, seed=seed),
+            max_users_per_server=max_users_per_server,
+        )
+        energy, time, combined = _replay(fleet, arrivals, profile)
+        stats = fleet.stats()
+        return FleetPolicyRow(
+            policy=policy_name,
+            servers=servers,
+            users=stats.users,
+            degraded=stats.degraded_users,
+            imbalance=stats.imbalance,
+            hit_rate=stats.cache_hit_rate,
+            energy=energy,
+            time=time,
+            combined=combined,
+            vs_single=0.0,
+        )
+
+    single = run("round-robin", 1)
+    single = dataclasses.replace(single, policy="single", vs_single=1.0)
+    rows = [
+        dataclasses.replace(
+            row, vs_single=row.combined / single.combined if single.combined else 0.0
+        )
+        for row in (run(name, n_servers) for name in policies)
+    ]
+    return FleetRoutingComparison(rows=rows, single=single)

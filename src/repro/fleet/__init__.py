@@ -1,0 +1,61 @@
+"""Multi-server edge fleet: routing, sharded admission, and failover.
+
+The paper's COPMECS model assumes one edge server ``S``; this package
+scales it horizontally while keeping every per-server result exactly
+the paper's model.  Three pieces:
+
+* :mod:`repro.fleet.routing` — pluggable user→server policies:
+  round-robin, least-loaded, power-of-two-choices, and
+  fingerprint-affinity consistent hashing (structurally identical apps
+  land on the same server and hit its plan cache);
+* :mod:`repro.fleet.fleet` — :class:`EdgeFleet`, holding one
+  :class:`~repro.mec.online.OnlinePlanner` and
+  :class:`~repro.service.plan_cache.PlanCache` per server, fleet-wide
+  :class:`~repro.mec.system.SystemConsumption` aggregation, and
+  rebalancing hooks;
+* :mod:`repro.fleet.failover` — server-outage handling
+  (:class:`~repro.simulation.faults.ServerOutage`): drain, re-admit on
+  survivors, degraded all-local fallback when no capacity remains.
+
+``python -m repro fleet-bench`` replays an arrival trace over the fleet
+and compares routing policies on load balance, cache hit rate and
+``E + T`` against a single server of equal total capacity.
+"""
+
+from repro.fleet.failover import FailoverReport, apply_outages, handle_outage
+from repro.fleet.fleet import (
+    EdgeFleet,
+    FleetAdmission,
+    FleetServer,
+    FleetStats,
+    all_local_breakdown,
+)
+from repro.fleet.routing import (
+    ROUTING_POLICIES,
+    FingerprintAffinityRouting,
+    LeastLoadedRouting,
+    PowerOfTwoRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    ServerLoad,
+    make_routing_policy,
+)
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinRouting",
+    "LeastLoadedRouting",
+    "PowerOfTwoRouting",
+    "FingerprintAffinityRouting",
+    "ServerLoad",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
+    "EdgeFleet",
+    "FleetServer",
+    "FleetAdmission",
+    "FleetStats",
+    "all_local_breakdown",
+    "FailoverReport",
+    "handle_outage",
+    "apply_outages",
+]

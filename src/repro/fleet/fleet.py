@@ -1,0 +1,402 @@
+"""The edge fleet: a pool of servers, each with its own planner and cache.
+
+The paper (and every module below this one) models a *single* edge
+server ``S``.  :class:`EdgeFleet` scales that model horizontally: each
+:class:`FleetServer` is one paper-faithful deployment — an
+:class:`~repro.mec.devices.EdgeServer` with its own
+:class:`~repro.mec.online.OnlinePlanner` state and
+:class:`~repro.service.plan_cache.PlanCache` — and a pluggable
+:class:`~repro.fleet.routing.RoutingPolicy` decides which server admits
+each arriving user.  Per-server results therefore remain exactly the
+paper's COPMECS model; the fleet layer adds what the model cannot say:
+load balance across servers, cache locality under content-affine
+routing, rebalancing, and failover (see :mod:`repro.fleet.failover`).
+
+Consumption aggregates across the fleet by merging per-user breakdowns:
+user ids are fleet-unique, so the union of every server's
+:class:`~repro.mec.system.SystemConsumption` *is* the fleet total, plus
+the all-local consumption of users admitted in degraded mode (no server
+had capacity for them).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
+from repro.mec.admission import AllocationPolicy
+from repro.mec.devices import EdgeServer, MobileDevice
+from repro.mec.energy import ConsumptionBreakdown, local_compute_time, local_energy
+from repro.mec.online import AdmissionRecord, OnlinePlanner
+from repro.mec.system import SystemConsumption
+from repro.service.fingerprint import request_fingerprint
+from repro.service.metrics import MetricsRegistry
+from repro.service.plan_cache import PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import PlannerConfig
+    from repro.core.results import CutStrategy, UserPlan
+
+
+def all_local_breakdown(device: MobileDevice, graph: FunctionCallGraph) -> ConsumptionBreakdown:
+    """Degraded-mode consumption: the whole application runs on-device.
+
+    This is the paper's no-offloading baseline — formulas (1) and (3)
+    with every function local — and the fleet's fallback when no server
+    has capacity left.  Always finite: no transmission, no waiting.
+    """
+    t_c = local_compute_time(graph.total_computation(), device.compute_capacity)
+    return ConsumptionBreakdown(
+        local_energy=local_energy(t_c, device.power_compute),
+        transmission_energy=0.0,
+        local_time=t_c,
+        remote_time=0.0,
+        transmission_time=0.0,
+        waiting_time=0.0,
+    )
+
+
+@dataclass
+class _AdmittedUser:
+    """Everything a server must remember to re-admit a user elsewhere."""
+
+    device: MobileDevice
+    graph: FunctionCallGraph
+    key: str
+    plan: "UserPlan"
+
+
+@dataclass
+class FleetAdmission:
+    """Outcome of one fleet admission."""
+
+    user_id: str
+    server_id: str | None
+    """The admitting server; ``None`` when the user fell back to local."""
+
+    record: AdmissionRecord | None
+    cache_hit: bool = False
+    degraded: bool = False
+
+
+class FleetServer:
+    """One edge server plus its planner state and content-addressed cache."""
+
+    def __init__(
+        self,
+        server_id: str,
+        server: EdgeServer,
+        cut_strategy: "CutStrategy",
+        config: "PlannerConfig | None" = None,
+        allocation: AllocationPolicy | None = None,
+        cache_capacity: int = 256,
+    ) -> None:
+        self.server_id = server_id
+        self.server = server
+        self._cut_strategy = cut_strategy
+        self._config = config
+        self._allocation = allocation
+        self.planner = OnlinePlanner(server, cut_strategy, config=config, allocation=allocation)
+        self.cache = PlanCache(capacity=cache_capacity)
+        self.admitted: dict[str, _AdmittedUser] = {}
+
+    @property
+    def users(self) -> int:
+        return len(self.admitted)
+
+    @property
+    def remote_load(self) -> float:
+        """Total computation weight currently offloaded to this server."""
+        state = self.planner.state
+        return sum(
+            state.apps[user_id].remote_weight(state.remote_parts.get(user_id, set()))
+            for user_id in state.apps
+        )
+
+    def load(self) -> ServerLoad:
+        return ServerLoad(
+            server_id=self.server_id,
+            users=self.users,
+            remote_load=self.remote_load,
+            capacity=self.server.total_capacity,
+        )
+
+    def admit(
+        self,
+        device: MobileDevice,
+        graph: FunctionCallGraph,
+        key: str,
+        plan: "UserPlan | None" = None,
+    ) -> tuple[AdmissionRecord, bool]:
+        """Admit one user, serving the plan from this server's cache.
+
+        Returns ``(record, cache_hit)``.  A *plan* passed explicitly
+        (rebalance/failover replay) bypasses the cache lookup — the move
+        is not a request, so it must not distort hit-rate statistics —
+        but still populates the cache for future arrivals.
+        """
+        cache_hit = False
+        if plan is None:
+            plan = self.cache.get(key)
+            cache_hit = plan is not None
+        record = self.planner.admit(device, graph, plan=plan)
+        self.cache.put(key, record.plan)
+        self.admitted[device.device_id] = _AdmittedUser(device, graph, key, record.plan)
+        return record, cache_hit
+
+    def evict(self, user_id: str) -> _AdmittedUser:
+        """Remove one user, rebuilding the planner state from the rest.
+
+        :class:`OnlinePlanner` freezes placements and cannot un-admit,
+        so eviction replays the surviving users (in admission order,
+        with their recorded plans — no compress/cut work) into a fresh
+        planner.  Greedy placement re-runs, which is the point: the
+        survivors reclaim the evicted user's share of the server.
+        """
+        entry = self.admitted.pop(user_id, None)
+        if entry is None:
+            raise KeyError(f"user {user_id!r} not admitted on {self.server_id!r}")
+        survivors = list(self.admitted.values())
+        self.planner = OnlinePlanner(
+            self.server, self._cut_strategy, config=self._config, allocation=self._allocation
+        )
+        for survivor in survivors:
+            self.planner.admit(survivor.device, survivor.graph, plan=survivor.plan)
+        return entry
+
+    def drain(self) -> list[_AdmittedUser]:
+        """Remove and return every admitted user (outage path)."""
+        drained = list(self.admitted.values())
+        self.admitted.clear()
+        self.planner = OnlinePlanner(
+            self.server, self._cut_strategy, config=self._config, allocation=self._allocation
+        )
+        return drained
+
+    def current_consumption(self) -> SystemConsumption:
+        if not self.admitted:
+            return SystemConsumption()
+        return self.planner.current_consumption()
+
+
+@dataclass
+class FleetStats:
+    """Point-in-time fleet counters (see :meth:`EdgeFleet.stats`)."""
+
+    servers: int
+    users: int
+    degraded_users: int
+    cache_hits: int
+    cache_misses: int
+    per_server_users: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean admitted users across alive servers (1.0 = perfect)."""
+        counts = list(self.per_server_users.values())
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+
+class EdgeFleet:
+    """A pool of edge servers behind one admission front-end.
+
+    Servers are homogeneous by default (``n_servers`` servers of
+    ``capacity_per_server`` each); pass *servers* for a heterogeneous
+    pool.  Every admission computes the request's content fingerprint,
+    asks the routing policy for a target, and admits on that server —
+    hitting its plan cache when a structurally identical app was seen
+    there before.  ``max_users_per_server`` bounds admission; when every
+    alive server is full (or the whole fleet is down), users are
+    admitted *degraded*: they run fully locally, which is always
+    feasible and keeps fleet totals finite.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        capacity_per_server: float = 500.0,
+        *,
+        servers: Mapping[str, EdgeServer] | None = None,
+        strategy: str = "spectral",
+        config: "PlannerConfig | None" = None,
+        allocation: AllocationPolicy | None = None,
+        routing: RoutingPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        cache_capacity: int = 256,
+        max_users_per_server: int | None = None,
+    ) -> None:
+        from repro.core.baselines import make_planner
+
+        if servers is None:
+            if n_servers < 1:
+                raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+            servers = {
+                f"edge-{index:02d}": EdgeServer(capacity_per_server)
+                for index in range(n_servers)
+            }
+        if not servers:
+            raise ValueError("a fleet needs at least one server")
+        if max_users_per_server is not None and max_users_per_server < 1:
+            raise ValueError(
+                f"max_users_per_server must be >= 1, got {max_users_per_server}"
+            )
+
+        template = make_planner(strategy, config)
+        self.strategy_name = template.strategy_name
+        self.config = template.config
+        self.routing = routing or RoundRobinRouting()
+        self.metrics = metrics or MetricsRegistry()
+        self.max_users_per_server = max_users_per_server
+        self.servers: dict[str, FleetServer] = {
+            server_id: FleetServer(
+                server_id,
+                server,
+                template.cut_strategy,
+                config=template.config,
+                allocation=allocation,
+                cache_capacity=cache_capacity,
+            )
+            for server_id, server in servers.items()
+        }
+        self._dead: dict[str, FleetServer] = {}
+        self._owner: dict[str, str] = {}
+        self._degraded: dict[str, ConsumptionBreakdown] = {}
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def request_key(self, graph: FunctionCallGraph) -> str:
+        """The content fingerprint used for routing and plan caching."""
+        return request_fingerprint(graph, self.config, self.strategy_name)
+
+    def _eligible(self) -> list[FleetServer]:
+        cap = self.max_users_per_server
+        return [
+            server
+            for server in self.servers.values()
+            if cap is None or server.users < cap
+        ]
+
+    def admit(self, device: MobileDevice, graph: FunctionCallGraph) -> FleetAdmission:
+        """Route and admit one user; never fails for lack of capacity."""
+        user_id = device.device_id
+        if user_id in self._owner or user_id in self._degraded:
+            raise ValueError(f"user {user_id!r} already admitted to the fleet")
+        started = time.perf_counter()
+        eligible = self._eligible()
+        if not eligible:
+            self._degraded[user_id] = all_local_breakdown(device, graph)
+            self.metrics.counter("fleet_degraded").inc()
+            return FleetAdmission(user_id, None, None, degraded=True)
+
+        key = self.request_key(graph)
+        target = self.routing.route(key, [server.load() for server in eligible])
+        server = self.servers[target]
+        record, cache_hit = server.admit(device, graph, key)
+        self._owner[user_id] = target
+        self.metrics.counter("fleet_admitted").inc()
+        self.metrics.counter("fleet_cache_hits" if cache_hit else "fleet_cache_misses").inc()
+        self.metrics.gauge(f"fleet_users_{target}").set(server.users)
+        self.metrics.histogram("fleet_admit_seconds").observe(time.perf_counter() - started)
+        return FleetAdmission(user_id, target, record, cache_hit=cache_hit)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def total_consumption(self) -> SystemConsumption:
+        """Fleet-wide ``E`` and ``T``: the union of per-server totals.
+
+        User ids are fleet-unique, so merging per-user breakdowns is
+        exact; degraded users contribute their all-local consumption.
+        """
+        combined = SystemConsumption()
+        for server in self.servers.values():
+            combined.per_user.update(server.current_consumption().per_user)
+        combined.per_user.update(self._degraded)
+        return combined
+
+    def load_stats(self) -> list[ServerLoad]:
+        """Per-server load snapshots, sorted by server id."""
+        return [
+            self.servers[server_id].load() for server_id in sorted(self.servers)
+        ]
+
+    def stats(self) -> FleetStats:
+        hits = self.metrics.counter("fleet_cache_hits").value
+        misses = self.metrics.counter("fleet_cache_misses").value
+        return FleetStats(
+            servers=len(self.servers),
+            users=len(self._owner),
+            degraded_users=len(self._degraded),
+            cache_hits=hits,
+            cache_misses=misses,
+            per_server_users={
+                server_id: server.users for server_id, server in sorted(self.servers.items())
+            },
+        )
+
+    @property
+    def degraded_users(self) -> dict[str, ConsumptionBreakdown]:
+        """Users running all-local because no server had capacity."""
+        return dict(self._degraded)
+
+    # ------------------------------------------------------------------
+    # Rebalancing and failover hooks
+    # ------------------------------------------------------------------
+    def rebalance(self, max_moves: int | None = None, tolerance: int = 1) -> int:
+        """Move users from the busiest to the idlest server; return moves.
+
+        Each move evicts the busiest server's most recent admission and
+        replays it (with its recorded plan — no replanning) on the
+        idlest server, until the user-count spread is within *tolerance*
+        or *max_moves* is reached.  This is the hook a supervisor calls
+        after failover or a burst of affinity-skewed arrivals.
+        """
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        moves = 0
+        while max_moves is None or moves < max_moves:
+            ranked = sorted(self.servers.values(), key=lambda s: (s.users, s.server_id))
+            idlest, busiest = ranked[0], ranked[-1]
+            if busiest.users - idlest.users <= tolerance:
+                break
+            user_id = next(reversed(busiest.admitted))
+            entry = busiest.evict(user_id)
+            idlest.admit(entry.device, entry.graph, entry.key, plan=entry.plan)
+            self._owner[user_id] = idlest.server_id
+            self.metrics.counter("fleet_rebalanced").inc()
+            moves += 1
+        return moves
+
+    def kill_server(self, server_id: str) -> list[tuple[MobileDevice, FunctionCallGraph]]:
+        """Take *server_id* out of the pool; return its drained users.
+
+        The server's planner state and cache are discarded (the machine
+        is gone); callers — normally
+        :func:`repro.fleet.failover.handle_outage` — re-admit the
+        returned users on the survivors.
+        """
+        server = self.servers.pop(server_id, None)
+        if server is None:
+            raise KeyError(f"unknown or already-dead server {server_id!r}")
+        self._dead[server_id] = server
+        self.routing.forget(server_id)
+        drained = server.drain()
+        for entry in drained:
+            self._owner.pop(entry.device.device_id, None)
+        self.metrics.counter("fleet_server_outages").inc()
+        self.metrics.gauge(f"fleet_users_{server_id}").set(0)
+        return [(entry.device, entry.graph) for entry in drained]

@@ -1,0 +1,198 @@
+"""Pluggable user→server routing policies for the edge fleet.
+
+A policy answers one question: *which server should admit this request?*
+It sees the request's content fingerprint (computed by the fleet with
+:func:`repro.service.fingerprint.request_fingerprint`) and a snapshot of
+every eligible server's load, and returns a server id.  Four standard
+disciplines are provided:
+
+* :class:`RoundRobinRouting` — cycle through servers in order; perfectly
+  balanced on uniform traffic, oblivious to load and to content.
+* :class:`LeastLoadedRouting` — always pick the currently least-loaded
+  server (join-the-shortest-queue); optimal balance, but every request
+  consults global state and identical apps scatter across servers.
+* :class:`PowerOfTwoRouting` — sample two servers, pick the less loaded
+  (Mitzenmacher's power of two choices); near-JSQ balance with O(1)
+  sampled state.
+* :class:`FingerprintAffinityRouting` — consistent hashing over the
+  request fingerprint, so structurally identical apps land on the same
+  server and hit its plan cache; server removal only remaps the keys
+  that lived on the removed server.
+
+Policies are deliberately *stateless about users* — the fleet owns
+admission — but may keep routing state (the round-robin cursor, the
+hash ring, the sampling RNG), all deterministic from the constructor
+arguments.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class ServerLoad:
+    """Point-in-time load snapshot of one fleet server."""
+
+    server_id: str
+    users: int
+    """Admitted users — the balance metric of the acceptance criteria."""
+
+    remote_load: float = 0.0
+    """Total computation weight currently offloaded to this server."""
+
+    capacity: float = 0.0
+    """The server's total capacity (for utilisation-aware policies)."""
+
+    @property
+    def utilisation(self) -> float:
+        """remote_load / capacity; 0.0 for an unprovisioned server."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.remote_load / self.capacity
+
+
+class RoutingPolicy(abc.ABC):
+    """Strategy deciding which server admits a plan request."""
+
+    name: str = "custom"
+
+    @abc.abstractmethod
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        """Return the chosen server id for the request named *key*.
+
+        *servers* is non-empty and lists only eligible (alive, below
+        any user cap) servers; the fleet raises before calling a policy
+        with nothing to choose from.
+        """
+
+    def forget(self, server_id: str) -> None:
+        """Drop any routing state tied to *server_id* (failover hook)."""
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle through the eligible servers in sorted-id order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        ordered = sorted(server.server_id for server in servers)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice
+
+
+class LeastLoadedRouting(RoutingPolicy):
+    """Join the shortest queue: fewest users, ties by remote load then id."""
+
+    name = "least-loaded"
+
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        best = min(servers, key=lambda s: (s.users, s.remote_load, s.server_id))
+        return best.server_id
+
+
+class PowerOfTwoRouting(RoutingPolicy):
+    """Sample two servers uniformly, admit on the less loaded one.
+
+    The classic load-balancing result: two random choices reduce the
+    maximum load from ``Θ(log n / log log n)`` to ``Θ(log log n)``
+    relative to one random choice, while touching only two servers'
+    state per decision.  The sampling stream is deterministic from
+    *seed*, so traces replay identically.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = RandomSource(seed).spawn("power-of-two")
+
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        ordered = sorted(servers, key=lambda s: s.server_id)
+        if len(ordered) == 1:
+            return ordered[0].server_id
+        first, second = self._rng.sample(ordered, 2)
+        best = min((first, second), key=lambda s: (s.users, s.remote_load, s.server_id))
+        return best.server_id
+
+
+def _ring_hash(value: str) -> int:
+    """Stable 64-bit position on the hash ring."""
+    return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class FingerprintAffinityRouting(RoutingPolicy):
+    """Consistent hashing on the request fingerprint.
+
+    Requests are routed by hashing their content fingerprint (the same
+    key :class:`~repro.service.plan_cache.PlanCache` uses) onto a ring
+    of virtual nodes, so structurally identical apps always land on the
+    same server and hit its plan cache — the fleet-wide hit rate matches
+    a single shared cache, without sharing anything.  ``replicas``
+    virtual nodes per server smooth the key distribution; removing a
+    server (failover) remaps only the keys that lived on it.
+    """
+
+    name = "affinity"
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []
+        self._members: frozenset[str] = frozenset()
+
+    def _rebuild(self, server_ids: frozenset[str]) -> None:
+        ring = [
+            (_ring_hash(f"{server_id}#{replica}"), server_id)
+            for server_id in server_ids
+            for replica in range(self.replicas)
+        ]
+        ring.sort()
+        self._ring = ring
+        self._members = server_ids
+
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        members = frozenset(server.server_id for server in servers)
+        if members != self._members:
+            self._rebuild(members)
+        positions = [position for position, _ in self._ring]
+        index = bisect.bisect_right(positions, _ring_hash(key)) % len(self._ring)
+        return self._ring[index][1]
+
+    def forget(self, server_id: str) -> None:
+        if server_id in self._members:
+            self._rebuild(self._members - {server_id})
+
+
+_POLICY_BUILDERS = {
+    "round-robin": lambda seed: RoundRobinRouting(),
+    "least-loaded": lambda seed: LeastLoadedRouting(),
+    "power-of-two": lambda seed: PowerOfTwoRouting(seed),
+    "affinity": lambda seed: FingerprintAffinityRouting(),
+}
+
+ROUTING_POLICIES = tuple(sorted(_POLICY_BUILDERS))
+"""Registered policy names, for CLIs and experiment sweeps."""
+
+
+def make_routing_policy(name: str, seed: int = 0) -> RoutingPolicy:
+    """Build a routing policy by registered name.
+
+    >>> make_routing_policy("affinity").name
+    'affinity'
+    """
+    if name not in _POLICY_BUILDERS:
+        raise ValueError(
+            f"unknown routing policy {name!r}; expected one of {list(ROUTING_POLICIES)}"
+        )
+    return _POLICY_BUILDERS[name](seed)

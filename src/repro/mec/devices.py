@@ -80,13 +80,16 @@ class MobileDevice:
 
 @dataclass(frozen=True)
 class EdgeServer:
-    """The single edge server ``S`` shared by all users.
+    """One edge server ``S`` shared by its admitted users.
 
-    ``total_capacity`` is divided among users by an
-    :class:`~repro.mec.admission.AllocationPolicy`; the construction-cost
-    argument of Section III (server resources "always limited") is what
-    makes multi-user offloading a real trade-off rather than
-    offload-everything.
+    The paper models a single such server; :class:`repro.fleet.EdgeFleet`
+    manages a pool of them, routing each user to one server, so every
+    ``EdgeServer`` instance remains exactly the paper's ``S`` for the
+    users it admits.  ``total_capacity`` is divided among those users by
+    an :class:`~repro.mec.admission.AllocationPolicy`; the
+    construction-cost argument of Section III (server resources "always
+    limited") is what makes multi-user offloading a real trade-off
+    rather than offload-everything.
     """
 
     total_capacity: float = 2000.0

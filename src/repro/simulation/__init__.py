@@ -21,7 +21,7 @@ Two purposes:
 
 from repro.simulation.engine import SimulationEngine, simulate_scheme
 from repro.simulation.events import EventQueue
-from repro.simulation.faults import BandwidthChange, Fault, ServerDegradation
+from repro.simulation.faults import BandwidthChange, Fault, ServerDegradation, ServerOutage
 from repro.simulation.report import SimulationReport, UserTimeline
 from repro.simulation.scenario import Scenario, ScenarioComparison, compare_scenarios
 from repro.simulation.tracing import SimulationTrace, TraceEntry, traced_simulation
@@ -34,6 +34,7 @@ __all__ = [
     "UserTimeline",
     "Fault",
     "ServerDegradation",
+    "ServerOutage",
     "BandwidthChange",
     "Scenario",
     "ScenarioComparison",

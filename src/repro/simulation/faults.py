@@ -36,6 +36,25 @@ class ServerDegradation(Fault):
 
 
 @dataclass(frozen=True)
+class ServerOutage(Fault):
+    """One fleet server disappears entirely at ``time``.
+
+    The single-server simulation engine has no server to spare, so this
+    fault is consumed by the fleet layer instead:
+    :func:`repro.fleet.failover.handle_outage` drains the named server
+    and re-admits its users on the survivors (or degrades them to
+    all-local execution when no capacity remains).
+    """
+
+    server_id: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.server_id:
+            raise ValueError("ServerOutage requires a server_id")
+
+
+@dataclass(frozen=True)
 class BandwidthChange(Fault):
     """One user's uplink bandwidth is multiplied by ``factor``."""
 

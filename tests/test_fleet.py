@@ -1,0 +1,315 @@
+"""Tests for the multi-server edge fleet (repro.fleet).
+
+Covers the acceptance contract of the fleet layer: routing-policy
+behaviour (cycling, shortest-queue, power-of-two balance, consistent-
+hash affinity and its minimal-remap property), sharded admission with
+per-server plan caches (affinity hit rate within 10% of a single
+server's), fleet-wide consumption aggregation, rebalancing, and
+failover — killing one of N servers re-admits every drained user on the
+survivors with finite E + T, and with zero surviving capacity users
+degrade to all-local execution instead of being lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import (
+    EdgeFleet,
+    FingerprintAffinityRouting,
+    LeastLoadedRouting,
+    PowerOfTwoRouting,
+    RoundRobinRouting,
+    ServerLoad,
+    all_local_breakdown,
+    apply_outages,
+    handle_outage,
+    make_routing_policy,
+)
+from repro.mec.devices import MobileDevice
+from repro.simulation import ServerOutage
+from repro.workloads import synthesize_application
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.profiles import quick_profile
+from repro.workloads.traces import (
+    call_graph_from_dict,
+    call_graph_to_dict,
+    replay_arrivals,
+)
+
+POOL_SIZE = 4
+REQUESTS = 24
+SERVERS = 4
+
+
+@pytest.fixture(scope="module")
+def fleet_profile():
+    return dataclasses.replace(
+        quick_profile(), distinct_graphs=POOL_SIZE, multiuser_graph_size=30
+    )
+
+
+@pytest.fixture(scope="module")
+def arrival_trace(fleet_profile):
+    workload = build_mec_system(REQUESTS, fleet_profile)
+    return replay_arrivals(workload, rate=100.0, seed=0)
+
+
+def make_fleet(fleet_profile, policy, servers=SERVERS, users=REQUESTS, **kwargs):
+    capacity = fleet_profile.server_capacity_per_user * users / servers
+    return EdgeFleet(servers, capacity, routing=policy, **kwargs)
+
+
+def replay(fleet, arrivals, fleet_profile):
+    return [
+        fleet.admit(MobileDevice(user_id, profile=fleet_profile.device), graph)
+        for user_id, graph in arrivals
+    ]
+
+
+def loads(counts: dict[str, int]) -> list[ServerLoad]:
+    return [ServerLoad(server_id, users) for server_id, users in counts.items()]
+
+
+class TestRoutingPolicies:
+    def test_round_robin_cycles_in_order(self):
+        policy = RoundRobinRouting()
+        view = loads({"b": 0, "a": 0, "c": 0})
+        picks = [policy.route(f"k{i}", view) for i in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_least_loaded_joins_shortest_queue(self):
+        policy = LeastLoadedRouting()
+        assert policy.route("k", loads({"a": 3, "b": 1, "c": 2})) == "b"
+        # Ties break by remote load, then id.
+        view = [ServerLoad("b", 1, 5.0), ServerLoad("a", 1, 9.0)]
+        assert policy.route("k", view) == "b"
+
+    def test_power_of_two_is_deterministic_per_seed(self):
+        view = loads({f"s{i}": i for i in range(6)})
+        first = [PowerOfTwoRouting(seed=7).route(f"k{i}", view) for i in range(20)]
+        second = [PowerOfTwoRouting(seed=7).route(f"k{i}", view) for i in range(20)]
+        assert first == second
+        assert PowerOfTwoRouting(seed=7).route("k", loads({"only": 9})) == "only"
+
+    def test_affinity_is_stable_and_key_partitioned(self):
+        policy = FingerprintAffinityRouting()
+        view = loads({"a": 0, "b": 0, "c": 0, "d": 0})
+        keys = [f"fingerprint-{i}" for i in range(40)]
+        first = {key: policy.route(key, view) for key in keys}
+        second = {key: policy.route(key, view) for key in keys}
+        assert first == second
+        assert len(set(first.values())) > 1  # keys actually spread
+
+    def test_affinity_removal_only_remaps_dead_servers_keys(self):
+        policy = FingerprintAffinityRouting()
+        full = loads({"a": 0, "b": 0, "c": 0, "d": 0})
+        keys = [f"fingerprint-{i}" for i in range(60)]
+        before = {key: policy.route(key, full) for key in keys}
+        survivors = [server for server in full if server.server_id != "a"]
+        after = {key: policy.route(key, survivors) for key in keys}
+        for key in keys:
+            if before[key] != "a":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "a"
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_routing_policy("random-walk")
+
+
+class TestFleetAdmission:
+    def test_affinity_hit_rate_matches_single_server(
+        self, fleet_profile, arrival_trace
+    ):
+        """Acceptance: 4-server affinity hit rate within 10% of 1 server."""
+        single = make_fleet(fleet_profile, RoundRobinRouting(), servers=1)
+        replay(single, arrival_trace, fleet_profile)
+        sharded = make_fleet(fleet_profile, FingerprintAffinityRouting())
+        replay(sharded, arrival_trace, fleet_profile)
+
+        single_rate = single.stats().cache_hit_rate
+        sharded_rate = sharded.stats().cache_hit_rate
+        assert single_rate == pytest.approx((REQUESTS - POOL_SIZE) / REQUESTS)
+        assert sharded_rate >= single_rate - 0.10
+
+    def test_power_of_two_keeps_load_balanced(self, fleet_profile, arrival_trace):
+        """Acceptance: max/mean admitted users <= 1.5 on a uniform trace."""
+        fleet = make_fleet(fleet_profile, PowerOfTwoRouting(seed=3))
+        replay(fleet, arrival_trace, fleet_profile)
+        stats = fleet.stats()
+        assert stats.users == REQUESTS
+        assert stats.imbalance <= 1.5
+
+    def test_consumption_aggregates_every_user(self, fleet_profile, arrival_trace):
+        fleet = make_fleet(fleet_profile, RoundRobinRouting())
+        replay(fleet, arrival_trace, fleet_profile)
+        consumption = fleet.total_consumption()
+        assert set(consumption.per_user) == {uid for uid, _ in arrival_trace}
+        assert consumption.energy > 0
+        assert consumption.time > 0
+
+    def test_duplicate_user_is_rejected_fleet_wide(self, fleet_profile):
+        fleet = make_fleet(fleet_profile, LeastLoadedRouting(), users=2)
+        app = synthesize_application("dup", n_functions=15, seed=5)
+        device = MobileDevice("u1", profile=fleet_profile.device)
+        fleet.admit(device, app)
+        with pytest.raises(ValueError, match="already admitted"):
+            fleet.admit(device, app)
+
+    def test_cache_hits_skip_replanning(self, fleet_profile):
+        fleet = make_fleet(fleet_profile, FingerprintAffinityRouting(), users=3)
+        app = synthesize_application("popular", n_functions=20, seed=9)
+        admissions = [
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+            for i in range(3)
+        ]
+        assert [admission.cache_hit for admission in admissions] == [False, True, True]
+        servers = {admission.server_id for admission in admissions}
+        assert len(servers) == 1  # affinity pinned the app to one server
+
+    def test_rebalance_flattens_affinity_skew(self, fleet_profile):
+        fleet = make_fleet(fleet_profile, FingerprintAffinityRouting(), servers=3, users=6)
+        app = synthesize_application("hot", n_functions=20, seed=2)
+        for i in range(6):
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+        assert fleet.stats().imbalance == pytest.approx(3.0)
+        before = fleet.total_consumption()
+        moves = fleet.rebalance()
+        stats = fleet.stats()
+        assert moves == 4
+        assert stats.imbalance == pytest.approx(1.0)
+        assert stats.users == 6
+        after = fleet.total_consumption()
+        assert set(after.per_user) == set(before.per_user)
+
+
+class TestDegradedMode:
+    def test_full_fleet_degrades_to_all_local(self, fleet_profile):
+        fleet = make_fleet(
+            fleet_profile, LeastLoadedRouting(), servers=2, users=4,
+            max_users_per_server=1,
+        )
+        app = synthesize_application("deg", n_functions=15, seed=4)
+        admissions = [
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+            for i in range(4)
+        ]
+        assert [admission.degraded for admission in admissions] == [
+            False, False, True, True,
+        ]
+        stats = fleet.stats()
+        assert stats.degraded_users == 2
+        consumption = fleet.total_consumption()
+        assert len(consumption.per_user) == 4
+        assert consumption.combined() > 0
+        assert consumption.combined() < float("inf")
+
+    def test_all_local_breakdown_matches_formulas(self, fleet_profile):
+        app = synthesize_application("local", n_functions=12, seed=6)
+        device = MobileDevice("u", profile=fleet_profile.device)
+        breakdown = all_local_breakdown(device, app)
+        expected_time = app.total_computation() / device.compute_capacity
+        assert breakdown.local_time == pytest.approx(expected_time)
+        assert breakdown.energy == pytest.approx(expected_time * device.power_compute)
+        assert breakdown.transmission_energy == 0.0
+        assert breakdown.remote_time == 0.0
+
+
+class TestFailover:
+    def test_outage_reassigns_every_user(self, fleet_profile, arrival_trace):
+        """Acceptance: killing 1 of N servers loses no user, E+T finite."""
+        fleet = make_fleet(fleet_profile, RoundRobinRouting())
+        replay(fleet, arrival_trace, fleet_profile)
+        victim = fleet.load_stats()[0].server_id
+        drained_expected = fleet.servers[victim].users
+
+        report = handle_outage(fleet, ServerOutage(time=1.0, server_id=victim))
+
+        assert report.drained_users == drained_expected
+        assert report.lost_users == 0
+        assert not report.degraded
+        assert set(report.reassigned.values()) <= set(fleet.servers)
+        assert victim not in fleet.servers
+        consumption = report.consumption_after
+        assert len(consumption.per_user) == REQUESTS
+        assert 0 < consumption.combined() < float("inf")
+
+    def test_outage_with_no_capacity_degrades_users(self, fleet_profile):
+        fleet = make_fleet(
+            fleet_profile, LeastLoadedRouting(), servers=2, users=4,
+            max_users_per_server=2,
+        )
+        app = synthesize_application("edge", n_functions=15, seed=8)
+        for i in range(4):
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+        victim = sorted(fleet.servers)[0]
+        report = handle_outage(fleet, ServerOutage(time=0.5, server_id=victim))
+        assert report.drained_users == 2
+        assert report.lost_users == 0
+        assert len(report.degraded) == 2  # the survivor was already full
+        assert len(report.consumption_after.per_user) == 4
+        assert report.consumption_after.combined() < float("inf")
+
+    def test_killing_every_server_leaves_all_users_local(self, fleet_profile):
+        fleet = make_fleet(fleet_profile, RoundRobinRouting(), servers=3, users=6)
+        app = synthesize_application("blackout", n_functions=15, seed=10)
+        for i in range(6):
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+        outages = [
+            ServerOutage(time=float(index), server_id=server_id)
+            for index, server_id in enumerate(sorted(fleet.servers))
+        ]
+        reports = apply_outages(fleet, outages)
+        assert sum(report.lost_users for report in reports) == 0
+        assert not fleet.servers
+        stats = fleet.stats()
+        assert stats.degraded_users == 6
+        consumption = fleet.total_consumption()
+        assert len(consumption.per_user) == 6
+        assert 0 < consumption.combined() < float("inf")
+
+    def test_outage_requires_known_server(self, fleet_profile):
+        fleet = make_fleet(fleet_profile, RoundRobinRouting(), servers=2, users=2)
+        with pytest.raises(KeyError, match="unknown or already-dead"):
+            handle_outage(fleet, ServerOutage(time=0.0, server_id="edge-99"))
+
+    def test_server_outage_fault_validation(self):
+        with pytest.raises(ValueError, match="server_id"):
+            ServerOutage(time=1.0)
+
+
+class TestFleetBenchCLI:
+    def test_smoke_path(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet-bench", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-bench: 16 requests over 4 distinct apps" in out
+        for policy in ("round-robin", "least-loaded", "power-of-two", "affinity"):
+            assert policy in out
+        assert "single server (equal total capacity)" in out
+
+    def test_unknown_policy_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet-bench", "--smoke", "--policies", "magic"]) == 2
+        assert "unknown routing policies" in capsys.readouterr().err

@@ -25,6 +25,7 @@ from repro.core.planner import OffloadingPlanner
 from repro.core.results import UserPlan
 from repro.service import (
     FingerprintError,
+    Histogram,
     PlanCache,
     PlanService,
     QueueFullError,
@@ -463,6 +464,107 @@ class TestOnlineAdmissionWithCachedPlans:
         )
 
 
+class TestHistogramPercentiles:
+    """Property tests for the nearest-rank percentile (direct coverage)."""
+
+    finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+    @given(st.lists(finite, min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_extreme_quantiles_are_window_min_and_max(self, values):
+        hist = Histogram("h")
+        for value in values:
+            hist.observe(value)
+        assert hist.percentile(0.0) == min(float(v) for v in values)
+        assert hist.percentile(1.0) == max(float(v) for v in values)
+
+    @given(finite, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_single_sample_dominates_every_quantile(self, value, q):
+        hist = Histogram("h")
+        hist.observe(value)
+        assert hist.percentile(q) == float(value)
+
+    @given(st.lists(finite, min_size=5, max_size=40), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_window_eviction_keeps_only_recent_samples(self, values, window):
+        hist = Histogram("h", window=window)
+        for value in values:
+            hist.observe(value)
+        surviving = sorted(float(v) for v in values[-window:])
+        assert hist.percentile(0.0) == surviving[0]
+        assert hist.percentile(1.0) == surviving[-1]
+        for q in (0.25, 0.5, 0.75):
+            rank = min(len(surviving) - 1, int(q * len(surviving)))
+            assert hist.percentile(q) == surviving[rank]
+        # count/mean stay exact over *all* observations, not the window.
+        assert hist.count == len(values)
+
+    @given(st.lists(finite, min_size=1, max_size=30), st.lists(st.floats(0.0, 1.0), min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_monotone_in_q(self, values, quantiles):
+        hist = Histogram("h")
+        for value in values:
+            hist.observe(value)
+        ordered = sorted(quantiles)
+        results = [hist.percentile(q) for q in ordered]
+        assert results == sorted(results)
+
+    def test_empty_histogram_and_invalid_quantiles(self):
+        hist = Histogram("h")
+        assert hist.percentile(0.0) == 0.0
+        assert hist.percentile(1.0) == 0.0
+        with pytest.raises(ValueError, match=r"percentile must be in \[0, 1\]"):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError, match="window must be >= 1"):
+            Histogram("h", window=0)
+
+
+class TestAdmitParityUnderAllocationPolicies:
+    """ISSUE satellite: admit(plan=...) must be consumption-identical to
+    cold admission under non-default allocation policies, not just FCFS."""
+
+    @pytest.mark.parametrize("allocation_name", ["equal", "proportional"])
+    def test_cached_plan_yields_identical_consumption(
+        self, device_profile, allocation_name
+    ):
+        from repro.core.baselines import spectral_cut_strategy
+        from repro.mec.admission import (
+            EqualShareAllocation,
+            ProportionalShareAllocation,
+        )
+        from repro.mec.devices import EdgeServer, MobileDevice
+        from repro.mec.online import OnlinePlanner
+
+        def allocation():
+            if allocation_name == "equal":
+                return EqualShareAllocation()
+            return ProportionalShareAllocation()
+
+        first = synthesize_application("parity-a", n_functions=25, seed=21)
+        second = synthesize_application("parity-b", n_functions=20, seed=22)
+        with PlanService(make_planner("spectral")) as service:
+            cached = service.plan(second).plan
+
+        cold = OnlinePlanner(
+            EdgeServer(300.0), spectral_cut_strategy(), allocation=allocation()
+        )
+        warm = OnlinePlanner(
+            EdgeServer(300.0), spectral_cut_strategy(), allocation=allocation()
+        )
+        cold.admit(MobileDevice("u1", profile=device_profile), first)
+        warm.admit(MobileDevice("u1", profile=device_profile), first)
+        cold_record = cold.admit(MobileDevice("u2", profile=device_profile), second)
+        warm_record = warm.admit(
+            MobileDevice("u2", profile=device_profile), second, plan=cached
+        )
+
+        assert warm_record.plan is cached
+        # Identical SystemConsumption, per user and in every component.
+        assert warm_record.consumption_after.per_user == cold_record.consumption_after.per_user
+        assert warm.current_consumption().per_user == cold.current_consumption().per_user
+
+
 class TestReplayArrivals:
     def test_fresh_objects_share_fingerprints(self):
         workload = build_mec_system(6, quick_profile(), graph_size=30)
@@ -490,6 +592,7 @@ class TestServeBenchCLI:
         assert "service hit rate" in out
         assert "plan parity: cached == cold for 4/4 apps" in out
         assert "requests ok/shed/errored: 24/0/0" in out
+        assert "request latency p50/p95" in out
 
     def test_spill_flag_writes_cache(self, tmp_path, capsys):
         from repro.cli import main
