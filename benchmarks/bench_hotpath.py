@@ -1,0 +1,202 @@
+"""Hot-path benchmark: planning throughput, kernel timings, warm starts.
+
+Not pytest-collected (``testpaths = ["tests"]``) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+
+Emits ``BENCH_hotpath.json`` so the hot-path speed-ups introduced by the
+array-graph/process-executor work are tracked across PRs:
+
+* plans/sec for ``PlanService`` in thread vs process executor mode, plus
+  the per-stage p50s (compression / cut) from the service histograms;
+* dict vs CSR label-propagation kernel wall time on a large graph,
+  with a label-parity check;
+* cold vs warm Fiedler sparse solves (the warm-start vector cache).
+
+CI runs the ``--smoke`` variant and fails on crash only, never on
+regression — absolute numbers depend on the runner, so the JSON artifact
+is for humans (and future tooling) to diff, not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.compression.labels import MeanScaledThreshold
+from repro.compression.propagation import LabelPropagation
+from repro.core import make_planner
+from repro.graphs.generators import random_connected_graph
+from repro.service import PlanService, ServiceConfig
+from repro.spectral.fiedler import FiedlerSolver
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.profiles import quick_profile
+from repro.workloads.traces import replay_arrivals
+
+
+def _best_of(repeats: int, run) -> float:
+    """Best wall time of *repeats* calls to *run* (min reduces jitter)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_service(executor: str, arrivals, workers: int, strategy: str = "spectral") -> dict:
+    """Replay *arrivals* through a cold service; return throughput + p50s."""
+    config = ServiceConfig(workers=workers, executor=executor, max_queue_depth=len(arrivals) + 1)
+    with PlanService(make_planner(strategy), config) as service:
+        started = time.perf_counter()
+        tickets = [service.submit(graph) for _, graph in arrivals]
+        responses = [ticket.result() for ticket in tickets]
+        elapsed = time.perf_counter() - started
+        stage_p50 = {
+            "compress_seconds": service.metrics.histogram("stage_compress_seconds").percentile(0.5),
+            "cut_seconds": service.metrics.histogram("stage_cut_seconds").percentile(0.5),
+            "request_latency_seconds": service.metrics.histogram(
+                "request_latency_seconds"
+            ).percentile(0.5),
+        }
+        invocations = service.planner_invocations
+    ok = sum(1 for response in responses if response.ok)
+    if ok != len(responses):
+        raise RuntimeError(f"{executor}: {len(responses) - ok} requests failed")
+    return {
+        "executor": executor,
+        "requests": len(responses),
+        "seconds": elapsed,
+        "plans_per_sec": len(responses) / elapsed if elapsed > 0 else 0.0,
+        "planner_invocations": invocations,
+        "stage_p50": stage_p50,
+    }
+
+
+def bench_label_propagation(n_nodes: int, repeats: int, seed: int = 0) -> dict:
+    """Dict vs CSR label-propagation kernel on one large random graph."""
+    graph = random_connected_graph(n_nodes, min(3 * n_nodes, n_nodes * (n_nodes - 1) // 2), seed=seed)
+    timings: dict[str, float] = {}
+    reports = {}
+    for kernel in ("dict", "csr"):
+        propagation = LabelPropagation(MeanScaledThreshold(1.0), kernel=kernel)
+        reports[kernel] = propagation.run(graph)
+        timings[kernel] = _best_of(repeats, lambda p=propagation: p.run(graph))
+    identical = reports["dict"].labels == reports["csr"].labels
+    if not identical:
+        raise RuntimeError("dict and csr label-propagation kernels disagree")
+    return {
+        "n_nodes": n_nodes,
+        "n_edges": graph.edge_count,
+        "dict_seconds": timings["dict"],
+        "csr_seconds": timings["csr"],
+        "csr_speedup": timings["dict"] / timings["csr"] if timings["csr"] > 0 else 0.0,
+        "labels_identical": identical,
+        "rounds": reports["csr"].rounds,
+    }
+
+
+def bench_fiedler_warm_start(n_nodes: int, repeats: int, seed: int = 1) -> dict:
+    """Cold vs warm sparse Fiedler solve on one structure."""
+    graph = random_connected_graph(n_nodes, min(3 * n_nodes, n_nodes * (n_nodes - 1) // 2), seed=seed)
+    cold = FiedlerSolver(method="sparse")
+    warm = FiedlerSolver(method="sparse", warm_start=True)
+    cold_result = cold.solve(graph)
+    warm.solve(graph)  # populate the warm cache for this structure
+    warm_result = warm.solve(graph)
+    cold_seconds = _best_of(repeats, lambda: cold.solve(graph))
+    warm_seconds = _best_of(repeats, lambda: warm.solve(graph))
+    scale = max(abs(cold_result.value), 1e-12)
+    return {
+        "n_nodes": n_nodes,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+        "warm_hits": warm.warm_hits,
+        "lambda2_rel_diff": abs(cold_result.value - warm_result.value) / scale,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Benchmark the planning hot path.")
+    parser.add_argument("--smoke", action="store_true", help="tiny workload for CI")
+    parser.add_argument("--requests", type=int, default=96)
+    parser.add_argument("--pool", type=int, default=8, help="distinct apps in the trace")
+    parser.add_argument("--graph-size", type=int, default=120, help="functions per app")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--label-nodes", type=int, default=800)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_hotpath.json"))
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests, args.pool, args.graph_size, args.workers = 24, 4, 40, 2
+        args.label_nodes, args.repeats = 520, 1
+
+    profile = dataclasses.replace(
+        quick_profile(),
+        distinct_graphs=args.pool,
+        multiuser_graph_size=args.graph_size,
+        seed=2019 + args.seed,
+    )
+    workload = build_mec_system(args.requests, profile)
+    arrivals = replay_arrivals(workload, rate=200.0, seed=args.seed)
+
+    service = {
+        executor: bench_service(executor, arrivals, args.workers)
+        for executor in ("thread", "process")
+    }
+    process_speedup = (
+        service["process"]["plans_per_sec"] / service["thread"]["plans_per_sec"]
+        if service["thread"]["plans_per_sec"] > 0
+        else 0.0
+    )
+    label_propagation = bench_label_propagation(args.label_nodes, args.repeats, seed=args.seed)
+    fiedler = bench_fiedler_warm_start(args.label_nodes, args.repeats, seed=args.seed + 1)
+
+    payload = {
+        "benchmark": "hotpath",
+        "smoke": args.smoke,
+        "config": {
+            "requests": args.requests,
+            "pool": args.pool,
+            "graph_size": args.graph_size,
+            "workers": args.workers,
+            "label_nodes": args.label_nodes,
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+        "service": service,
+        "process_vs_thread_speedup": process_speedup,
+        "label_propagation": label_propagation,
+        "fiedler_warm_start": fiedler,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"service: thread {service['thread']['plans_per_sec']:.1f} plans/s, "
+        f"process {service['process']['plans_per_sec']:.1f} plans/s "
+        f"({process_speedup:.2f}x)"
+    )
+    print(
+        f"label propagation ({label_propagation['n_nodes']} nodes): "
+        f"dict {label_propagation['dict_seconds'] * 1e3:.2f}ms, "
+        f"csr {label_propagation['csr_seconds'] * 1e3:.2f}ms "
+        f"({label_propagation['csr_speedup']:.2f}x, labels identical)"
+    )
+    print(
+        f"fiedler sparse ({fiedler['n_nodes']} nodes): "
+        f"cold {fiedler['cold_seconds'] * 1e3:.2f}ms, "
+        f"warm {fiedler['warm_seconds'] * 1e3:.2f}ms "
+        f"({fiedler['warm_speedup']:.2f}x, lambda2 rel diff {fiedler['lambda2_rel_diff']:.2e})"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from typing import Sequence
 from repro.fleet.fleet import EdgeFleet
 from repro.fleet.routing import ROUTING_POLICIES, make_routing_policy
 from repro.mec.devices import MobileDevice
+from repro.service.executor import PlanningBackend
 from repro.workloads.multiuser import build_mec_system
 from repro.workloads.profiles import ExperimentProfile, quick_profile
 from repro.workloads.traces import replay_arrivals
@@ -59,8 +60,12 @@ def _replay(
     arrivals: Sequence[tuple[str, object]],
     profile: ExperimentProfile,
 ) -> tuple[float, float, float]:
-    for user_id, graph in arrivals:
-        fleet.admit(MobileDevice(user_id, profile=profile.device), graph)
+    # Batch admission is sequential-equivalent (same routing, caching and
+    # planner state as an admit() loop); with a planning backend attached
+    # to the fleet, the batch's distinct plans compute in parallel.
+    fleet.admit_many(
+        [(MobileDevice(user_id, profile=profile.device), graph) for user_id, graph in arrivals]
+    )
     consumption = fleet.total_consumption()
     return consumption.energy, consumption.time, consumption.combined()
 
@@ -74,18 +79,27 @@ def run_fleet_routing_experiment(
     rate: float = 200.0,
     seed: int = 0,
     max_users_per_server: int | None = None,
+    executor: str = "thread",
 ) -> FleetRoutingComparison:
     """Compare routing policies on one trace; include the 1-server control.
 
     The fleet's total capacity always equals the single server's
     (``profile.server_capacity_per_user * n_users``), split evenly over
     *n_servers*, so the comparison isolates the *sharding* cost from any
-    provisioning difference.
+    provisioning difference.  *executor* selects where planning runs
+    (``"thread"`` inline or ``"process"`` on a multiprocessing pool);
+    planning is deterministic, so the rows are identical either way.
     """
     profile = profile or quick_profile()
     workload = build_mec_system(n_users, profile)
     arrivals = replay_arrivals(workload, rate=rate, seed=seed)
     total_capacity = profile.server_capacity_per_user * n_users
+
+    backend = (
+        PlanningBackend(executor="process", strategy_name=strategy)
+        if executor == "process"
+        else None
+    )
 
     def run(policy_name: str, servers: int) -> FleetPolicyRow:
         fleet = EdgeFleet(
@@ -94,6 +108,7 @@ def run_fleet_routing_experiment(
             strategy=strategy,
             routing=make_routing_policy(policy_name, seed=seed),
             max_users_per_server=max_users_per_server,
+            backend=backend,
         )
         energy, time, combined = _replay(fleet, arrivals, profile)
         stats = fleet.stats()
@@ -110,12 +125,18 @@ def run_fleet_routing_experiment(
             vs_single=0.0,
         )
 
-    single = run("round-robin", 1)
-    single = dataclasses.replace(single, policy="single", vs_single=1.0)
-    rows = [
-        dataclasses.replace(
-            row, vs_single=row.combined / single.combined if single.combined else 0.0
-        )
-        for row in (run(name, n_servers) for name in policies)
-    ]
+    try:
+        if backend is not None:
+            backend.start()
+        single = run("round-robin", 1)
+        single = dataclasses.replace(single, policy="single", vs_single=1.0)
+        rows = [
+            dataclasses.replace(
+                row, vs_single=row.combined / single.combined if single.combined else 0.0
+            )
+            for row in (run(name, n_servers) for name in policies)
+        ]
+    finally:
+        if backend is not None:
+            backend.close()
     return FleetRoutingComparison(rows=rows, single=single)

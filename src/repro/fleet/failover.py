@@ -48,14 +48,16 @@ def handle_outage(fleet: EdgeFleet, outage: ServerOutage) -> FailoverReport:
     """Kill ``outage.server_id`` and re-admit its users on the survivors.
 
     Users are re-admitted in their original admission order through
-    :meth:`EdgeFleet.admit`, so re-routing respects the fleet's policy
-    and capacity caps; with zero surviving capacity every drained user
-    degrades to all-local execution instead of being dropped.
+    :meth:`EdgeFleet.admit_many`, so re-routing respects the fleet's
+    policy and capacity caps — and when the fleet has a planning backend
+    attached, plans the survivors' caches no longer hold are recomputed
+    in parallel across its process pool.  With zero surviving capacity
+    every drained user degrades to all-local execution instead of being
+    dropped.
     """
     drained = fleet.kill_server(outage.server_id)
     report = FailoverReport(server_id=outage.server_id, drained_users=len(drained))
-    for device, graph in drained:
-        admission = fleet.admit(device, graph)
+    for admission in fleet.admit_many(drained):
         if admission.degraded:
             report.degraded.append(admission.user_id)
         else:

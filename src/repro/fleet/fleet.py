@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
@@ -39,6 +39,7 @@ from repro.service.plan_cache import PlanCache
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.config import PlannerConfig
     from repro.core.results import CutStrategy, UserPlan
+    from repro.service.executor import PlanningBackend
 
 
 def all_local_breakdown(device: MobileDevice, graph: FunctionCallGraph) -> ConsumptionBreakdown:
@@ -130,18 +131,24 @@ class FleetServer:
         graph: FunctionCallGraph,
         key: str,
         plan: "UserPlan | None" = None,
+        fallback_plan: "UserPlan | None" = None,
     ) -> tuple[AdmissionRecord, bool]:
         """Admit one user, serving the plan from this server's cache.
 
         Returns ``(record, cache_hit)``.  A *plan* passed explicitly
         (rebalance/failover replay) bypasses the cache lookup — the move
         is not a request, so it must not distort hit-rate statistics —
-        but still populates the cache for future arrivals.
+        but still populates the cache for future arrivals.  A
+        *fallback_plan* (batch pre-planning) is only used after a cache
+        miss, so hit-rate statistics stay identical to planning inline;
+        planning is deterministic, so the result is identical too.
         """
         cache_hit = False
         if plan is None:
             plan = self.cache.get(key)
             cache_hit = plan is not None
+            if plan is None:
+                plan = fallback_plan
         record = self.planner.admit(device, graph, plan=plan)
         self.cache.put(key, record.plan)
         self.admitted[device.device_id] = _AdmittedUser(device, graph, key, record.plan)
@@ -237,6 +244,7 @@ class EdgeFleet:
         metrics: MetricsRegistry | None = None,
         cache_capacity: int = 256,
         max_users_per_server: int | None = None,
+        backend: "PlanningBackend | None" = None,
     ) -> None:
         from repro.core.baselines import make_planner
 
@@ -255,8 +263,10 @@ class EdgeFleet:
             )
 
         template = make_planner(strategy, config)
+        self._template = template
         self.strategy_name = template.strategy_name
         self.config = template.config
+        self.backend = backend
         self.routing = routing or RoundRobinRouting()
         self.metrics = metrics or MetricsRegistry()
         self.max_users_per_server = max_users_per_server
@@ -292,6 +302,14 @@ class EdgeFleet:
 
     def admit(self, device: MobileDevice, graph: FunctionCallGraph) -> FleetAdmission:
         """Route and admit one user; never fails for lack of capacity."""
+        return self._admit_one(device, graph, fallback_plan=None)
+
+    def _admit_one(
+        self,
+        device: MobileDevice,
+        graph: FunctionCallGraph,
+        fallback_plan: "UserPlan | None",
+    ) -> FleetAdmission:
         user_id = device.device_id
         if user_id in self._owner or user_id in self._degraded:
             raise ValueError(f"user {user_id!r} already admitted to the fleet")
@@ -305,13 +323,59 @@ class EdgeFleet:
         key = self.request_key(graph)
         target = self.routing.route(key, [server.load() for server in eligible])
         server = self.servers[target]
-        record, cache_hit = server.admit(device, graph, key)
+        record, cache_hit = server.admit(device, graph, key, fallback_plan=fallback_plan)
         self._owner[user_id] = target
         self.metrics.counter("fleet_admitted").inc()
         self.metrics.counter("fleet_cache_hits" if cache_hit else "fleet_cache_misses").inc()
         self.metrics.gauge(f"fleet_users_{target}").set(server.users)
         self.metrics.histogram("fleet_admit_seconds").observe(time.perf_counter() - started)
         return FleetAdmission(user_id, target, record, cache_hit=cache_hit)
+
+    def admit_many(
+        self,
+        arrivals: "Sequence[tuple[MobileDevice, FunctionCallGraph]]",
+        backend: "PlanningBackend | None" = None,
+    ) -> list[FleetAdmission]:
+        """Admit a batch of users; identical outcome to sequential admits.
+
+        Plans are server-independent and planning is deterministic, so a
+        batch can pre-plan its distinct fingerprints up front — fanning
+        across *backend*'s process pool when one is attached (falling
+        back to ``self.backend``, then to inline planning) — while the
+        admissions themselves stay sequential.  Routing decisions,
+        cache-hit accounting, capacity caps and planner state therefore
+        match a plain ``admit`` loop exactly; only the planning work is
+        hoisted out and parallelised.
+        """
+        backend = backend if backend is not None else self.backend
+        precomputed: dict[str, "UserPlan"] = {}
+        if backend is not None and len(arrivals) > 1:
+            pending: dict[str, FunctionCallGraph] = {}
+            for _, graph in arrivals:
+                key = self.request_key(graph)
+                if key in pending or any(
+                    key in server.cache for server in self.servers.values()
+                ):
+                    continue
+                pending[key] = graph
+            if pending:
+                keys = list(pending)
+                try:
+                    plans = backend.plan_many(
+                        self._template, [pending[key] for key in keys]
+                    )
+                except Exception:  # noqa: BLE001 - pre-planning is best-effort
+                    # Fall back to inline planning so batch admission
+                    # raises exactly where a sequential loop would.
+                    self.metrics.counter("fleet_preplan_failures").inc()
+                else:
+                    precomputed = dict(zip(keys, plans))
+        return [
+            self._admit_one(
+                device, graph, fallback_plan=precomputed.get(self.request_key(graph))
+            )
+            for device, graph in arrivals
+        ]
 
     # ------------------------------------------------------------------
     # Aggregation

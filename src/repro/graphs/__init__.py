@@ -6,6 +6,7 @@ application as a weighted undirected graph whose node weights are amounts of
 computation and whose edge weights are amounts of communication.
 """
 
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.graphs.dot import clustering_to_dot, cut_to_dot, graph_to_dot
 from repro.graphs.components import (
     component_subgraphs,
@@ -75,6 +76,8 @@ from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = [
     "WeightedGraph",
+    "CSRGraph",
+    "as_csr",
     "connected_components",
     "component_subgraphs",
     "is_connected",

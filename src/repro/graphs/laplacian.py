@@ -3,6 +3,13 @@
 Section III-B of the paper rests on the spectrum of the graph Laplacian
 ``L = D - A`` (Theorems 1-3).  Builders return dense numpy arrays for the
 from-scratch eigensolvers and scipy sparse matrices for large graphs.
+
+All builders accept either a :class:`WeightedGraph` or a pre-frozen
+:class:`~repro.graphs.csr.CSRGraph` and assemble matrices from the CSR
+arrays — one linear scan to freeze, vectorized assembly afterwards —
+instead of re-walking the dict-of-dict adjacency per matrix.  Callers on
+the planning hot path freeze once and reuse the same ``CSRGraph`` for
+every matrix they need.
 """
 
 from __future__ import annotations
@@ -12,17 +19,24 @@ from typing import Hashable, Sequence
 import numpy as np
 from scipy import sparse
 
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.graphs.weighted_graph import WeightedGraph
 
 NodeId = Hashable
 
+GraphLike = "WeightedGraph | CSRGraph"
 
-def node_index(graph: WeightedGraph, order: Sequence[NodeId] | None = None) -> dict[NodeId, int]:
+
+def node_index(
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
+) -> dict[NodeId, int]:
     """Return a node -> row index mapping.
 
     The caller may fix the *order*; by default insertion order is used so
     that eigenvector entries line up with ``graph.node_list()``.
     """
+    if isinstance(graph, CSRGraph) and order is None:
+        return dict(graph.index)
     nodes = list(order) if order is not None else graph.node_list()
     if len(set(nodes)) != len(nodes):
         raise ValueError("node order contains duplicates")
@@ -34,39 +48,39 @@ def node_index(graph: WeightedGraph, order: Sequence[NodeId] | None = None) -> d
     return {node: i for i, node in enumerate(nodes)}
 
 
+def _freeze(
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None
+) -> CSRGraph:
+    """Freeze *graph* under *order*, validating the order like node_index."""
+    if isinstance(graph, CSRGraph):
+        return as_csr(graph, order)
+    node_index(graph, order)  # full validation, same errors as before
+    return CSRGraph.from_graph(graph, order)
+
+
 def adjacency_matrix(
-    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
 ) -> np.ndarray:
     """Return the dense weighted adjacency matrix ``A``."""
-    index = node_index(graph, order)
-    n = len(index)
-    matrix = np.zeros((n, n), dtype=float)
-    for u, v, w in graph.edges():
-        i, j = index[u], index[v]
-        matrix[i, j] = w
-        matrix[j, i] = w
-    return matrix
+    return _freeze(graph, order).adjacency_matrix()
 
 
-def degree_vector(graph: WeightedGraph, order: Sequence[NodeId] | None = None) -> np.ndarray:
+def degree_vector(
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
+) -> np.ndarray:
     """Return the weighted degree vector (diagonal of ``D``)."""
-    index = node_index(graph, order)
-    degrees = np.zeros(len(index), dtype=float)
-    for node, i in index.items():
-        degrees[i] = graph.weighted_degree(node)
-    return degrees
+    return _freeze(graph, order).weighted_degrees()
 
 
 def laplacian_matrix(
-    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
 ) -> np.ndarray:
     """Return the dense combinatorial Laplacian ``L = D - A``."""
-    adjacency = adjacency_matrix(graph, order)
-    return np.diag(adjacency.sum(axis=1)) - adjacency
+    return _freeze(graph, order).laplacian_matrix()
 
 
 def normalized_laplacian_matrix(
-    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
 ) -> np.ndarray:
     """Return the symmetric normalized Laplacian ``I - D^-1/2 A D^-1/2``.
 
@@ -83,27 +97,11 @@ def normalized_laplacian_matrix(
 
 
 def sparse_laplacian(
-    graph: WeightedGraph, order: Sequence[NodeId] | None = None
+    graph: "WeightedGraph | CSRGraph", order: Sequence[NodeId] | None = None
 ) -> sparse.csr_matrix:
     """Return the combinatorial Laplacian as a CSR sparse matrix.
 
     Used by the scipy-backed Fiedler solver on large compressed graphs
-    where a dense ``n x n`` array would be wasteful.
+    where a dense ``n x n`` array would be wasteful.  Always float64.
     """
-    index = node_index(graph, order)
-    n = len(index)
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    degrees = np.zeros(n, dtype=float)
-    for u, v, w in graph.edges():
-        i, j = index[u], index[v]
-        rows.extend((i, j))
-        cols.extend((j, i))
-        vals.extend((-w, -w))
-        degrees[i] += w
-        degrees[j] += w
-    rows.extend(range(n))
-    cols.extend(range(n))
-    vals.extend(degrees.tolist())
-    return sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return _freeze(graph, order).sparse_laplacian()

@@ -32,6 +32,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.mec.admission import MIN_REMOTE_LOAD
 from repro.mec.objective import ObjectiveWeights
 from repro.mec.scheme import OffloadingScheme, PartitionedApplication
@@ -131,9 +133,20 @@ def initial_placement(
 class PlacementEvaluator:
     """Incremental evaluation of part placements for one MEC system.
 
-    Maintains per-user aggregates (local weight, remote weight, boundary
-    cut) and evaluates "move part p of user u local" in
-    ``O(deg(p) + active users)`` instead of re-walking every graph.
+    Per user, the part attributes are frozen into numpy arrays indexed by
+    ``part_id`` (parts are stored with ``part_id == index``):
+    ``computation``, ``anchor_traffic``, the total incident inter-part
+    communication ``w_total`` and the communication toward
+    currently-remote parts ``w_remote`` (maintained incrementally).  A
+    candidate move's cut change is then a closed form over three array
+    reads — edges to still-remote parts start crossing, edges to local
+    parts stop crossing, anchor traffic stops crossing::
+
+        delta_cut(p) = -anchor[p] + 2 * w_remote[p] - w_total[p]
+
+    so :meth:`evaluate_move` costs O(1) array reads for the device side
+    plus the O(active users) server-time aggregate, and only
+    :meth:`apply_move` pays O(deg(p)) to refresh neighbors' ``w_remote``.
     """
 
     def __init__(
@@ -148,16 +161,33 @@ class PlacementEvaluator:
         self.weights = weights
         self.remote: dict[str, set[int]] = {u: set(p) for u, p in remote.items()}
 
-        # Per-part communication adjacency: part -> [(other part, weight)].
-        self._part_adjacency: dict[str, dict[int, list[tuple[int, float]]]] = {}
+        # Per-part arrays, indexed by part_id, plus the communication
+        # adjacency (part -> [(other part, weight)]) used by apply_move.
+        self._part_adjacency: dict[str, list[list[tuple[int, float]]]] = {}
+        self._comp: dict[str, np.ndarray] = {}
+        self._anchor: dict[str, np.ndarray] = {}
+        self._w_total: dict[str, np.ndarray] = {}
+        self._w_remote: dict[str, np.ndarray] = {}
         for user_id, app in apps.items():
-            adjacency: dict[int, list[tuple[int, float]]] = {
-                part.part_id: [] for part in app.parts
-            }
+            n_parts = len(app.parts)
+            adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n_parts)]
+            w_total = np.zeros(n_parts)
+            w_remote = np.zeros(n_parts)
+            parts_remote = self.remote.get(user_id, set())
             for (i, j), weight in app.inter_comm.items():
                 adjacency[i].append((j, weight))
                 adjacency[j].append((i, weight))
+                w_total[i] += weight
+                w_total[j] += weight
+                if j in parts_remote:
+                    w_remote[i] += weight
+                if i in parts_remote:
+                    w_remote[j] += weight
             self._part_adjacency[user_id] = adjacency
+            self._comp[user_id] = np.array([p.computation for p in app.parts])
+            self._anchor[user_id] = np.array([p.anchor_traffic for p in app.parts])
+            self._w_total[user_id] = w_total
+            self._w_remote[user_id] = w_remote
 
         # Per-user aggregates under the current placement.
         self._local_w: dict[str, float] = {}
@@ -223,22 +253,16 @@ class PlacementEvaluator:
     # ------------------------------------------------------------------
     def _move_deltas(self, user_id: str, part_id: int) -> tuple[float, float, float]:
         """(new_local_w, new_remote_w, new_cut) for user after moving part local."""
-        app = self.apps[user_id]
-        part = app.parts[part_id]
-        parts_remote = self.remote[user_id]
-        cut = self._cut[user_id]
-        # Edge flips: edges to still-remote parts start crossing; edges to
-        # local parts stop crossing; anchor traffic stops crossing.
-        delta_cut = -part.anchor_traffic
-        for other, weight in self._part_adjacency[user_id][part_id]:
-            if other in parts_remote and other != part_id:
-                delta_cut += weight
-            else:
-                delta_cut -= weight
+        computation = float(self._comp[user_id][part_id])
+        delta_cut = float(
+            -self._anchor[user_id][part_id]
+            + 2.0 * self._w_remote[user_id][part_id]
+            - self._w_total[user_id][part_id]
+        )
         return (
-            self._local_w[user_id] + part.computation,
-            self._remote_w[user_id] - part.computation,
-            cut + delta_cut,
+            self._local_w[user_id] + computation,
+            self._remote_w[user_id] - computation,
+            self._cut[user_id] + delta_cut,
         )
 
     def evaluate_move(self, user_id: str, part_id: int) -> float:
@@ -267,6 +291,11 @@ class PlacementEvaluator:
         self._local_w[user_id] = new_local
         self._remote_w[user_id] = new_remote
         self._cut[user_id] = new_cut
+        # The moved part left the remote set: its neighbors' remote-facing
+        # communication drops by the shared edge weight.
+        w_remote = self._w_remote[user_id]
+        for other, weight in self._part_adjacency[user_id][part_id]:
+            w_remote[other] -= weight
         self._cached_combined = None
         self._cached_server_time = None
 

@@ -17,11 +17,19 @@ package exists to share.  Four pieces compose into :class:`PlanService`:
   arrivals in batches;
 * :mod:`repro.service.server` — the worker pool, load shedding,
   timeout/retry and validation glue;
+* :mod:`repro.service.executor` — the planning execution backend:
+  in-thread (default) or a multiprocessing pool so plan throughput
+  scales with cores;
 * :mod:`repro.service.metrics` — counters/gauges/histograms rendered
   as a plain-text report (``python -m repro serve-bench`` prints it).
 """
 
 from repro.service.batching import PlanRequest, QueueFullError, RequestQueue
+from repro.service.executor import (
+    EXECUTOR_MODES,
+    PlanningBackend,
+    process_pool_supported,
+)
 from repro.service.fingerprint import (
     FingerprintError,
     config_fingerprint,
@@ -66,4 +74,7 @@ __all__ = [
     "PlanResponse",
     "ServiceConfig",
     "ServiceError",
+    "EXECUTOR_MODES",
+    "PlanningBackend",
+    "process_pool_supported",
 ]

@@ -1,0 +1,160 @@
+"""Pluggable planning execution backend: in-thread or process pool.
+
+Planning is pure Python, so :class:`~repro.service.server.PlanService`'s
+thread pool only buys isolation and batching — the GIL serialises the
+actual planning work.  ``PlanningBackend`` abstracts *where* a plan is
+computed:
+
+* ``"thread"`` — plan inline on the calling worker thread (the original
+  behaviour; zero overhead, GIL-bound throughput);
+* ``"process"`` — ship the request to a ``multiprocessing`` pool so
+  planning scales with cores.  Cut strategies are closures and do not
+  pickle, so worker processes rebuild their own planner from the
+  registry name via :func:`repro.core.baselines.make_planner` (pool
+  initializer); only the :class:`FunctionCallGraph` request and the
+  :class:`UserPlan` result cross the process boundary, and both are
+  plain picklable dataclasses.
+
+Planning is deterministic, so thread and process modes return identical
+plans for identical requests (asserted by the parity tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TYPE_CHECKING, Sequence
+
+from repro.callgraph.model import FunctionCallGraph
+from repro.core.config import PlannerConfig
+from repro.core.results import UserPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.planner import OffloadingPlanner
+
+EXECUTOR_MODES = ("thread", "process")
+
+_WORKER_PLANNER = None
+"""Per-worker-process planner, rebuilt by :func:`_initialize_worker`."""
+
+
+def _initialize_worker(strategy_name: str, config: PlannerConfig | None) -> None:
+    """Pool initializer: rebuild the planner inside the worker process."""
+    global _WORKER_PLANNER
+    from repro.core.baselines import make_planner
+
+    _WORKER_PLANNER = make_planner(strategy_name, config)
+
+
+def _plan_in_worker(graph: FunctionCallGraph) -> UserPlan:
+    """Run one plan on the worker process's rebuilt planner."""
+    if _WORKER_PLANNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker process has no planner (initializer not run)")
+    return _WORKER_PLANNER.plan_user(graph)
+
+
+def process_pool_supported(strategy_name: str) -> bool:
+    """Whether *strategy_name* can be rebuilt inside a worker process.
+
+    Only registry strategies qualify; ``"spectral-spark"`` (needs a live
+    cluster) and ad-hoc strategies (arbitrary closures) cannot cross the
+    process boundary.
+    """
+    from repro.core.baselines import _STRATEGY_BUILDERS
+
+    return strategy_name in _STRATEGY_BUILDERS
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, shares the warm interpreter), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context("spawn")
+
+
+class PlanningBackend:
+    """Executes ``plan_user`` calls in-thread or on a process pool.
+
+    Use as a context manager or call :meth:`start`/:meth:`close`.  All
+    methods are safe to call from multiple threads: ``Pool.apply`` is
+    ``apply_async().get()`` under the hood, so concurrent callers fan
+    out across the pool's worker processes.
+    """
+
+    def __init__(
+        self,
+        executor: str = "thread",
+        strategy_name: str = "spectral",
+        config: PlannerConfig | None = None,
+        processes: int | None = None,
+    ) -> None:
+        if executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_MODES}"
+            )
+        if executor == "process" and not process_pool_supported(strategy_name):
+            raise ValueError(
+                f"strategy {strategy_name!r} cannot run on a process pool: "
+                "worker processes rebuild planners from the strategy registry, "
+                "and this strategy is not registered there"
+            )
+        self.executor = executor
+        self.strategy_name = strategy_name
+        self.config = config
+        self.processes = processes
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PlanningBackend":
+        """Launch the process pool (no-op for the thread executor)."""
+        if self.executor == "process" and self._pool is None:
+            self._pool = _pool_context().Pool(
+                processes=self.processes,
+                initializer=_initialize_worker,
+                initargs=(self.strategy_name, self.config),
+            )
+        return self
+
+    def close(self) -> None:
+        """Tear the pool down; idempotent."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PlanningBackend":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, planner: "OffloadingPlanner", graph: FunctionCallGraph) -> UserPlan:
+        """Plan one graph; worker exceptions re-raise in the caller."""
+        if self._pool is not None:
+            return self._pool.apply(_plan_in_worker, (graph,))
+        return planner.plan_user(graph)
+
+    def plan_many(
+        self, planner: "OffloadingPlanner", graphs: Sequence[FunctionCallGraph]
+    ) -> list[UserPlan]:
+        """Plan a batch, preserving order.
+
+        The process executor maps the batch across the pool; the thread
+        executor plans sequentially (parallel threads would only contend
+        on the GIL).  Results are positionally aligned with *graphs*.
+        """
+        if self._pool is not None and len(graphs) > 1:
+            return self._pool.map(_plan_in_worker, graphs)
+        return [self.plan(planner, graph) for graph in graphs]
+
+
+__all__ = [
+    "EXECUTOR_MODES",
+    "PlanningBackend",
+    "process_pool_supported",
+]

@@ -31,6 +31,7 @@ from repro.core.planner import OffloadingPlanner
 from repro.core.results import UserPlan
 from repro.graphs.validation import check_graph_invariants
 from repro.service.batching import Flight, PlanRequest, QueueFullError, RequestQueue
+from repro.service.executor import EXECUTOR_MODES, PlanningBackend
 from repro.service.fingerprint import request_fingerprint
 from repro.service.metrics import MetricsRegistry
 from repro.service.plan_cache import PlanCache
@@ -41,8 +42,16 @@ class ServiceConfig:
     """Knobs of the serving layer (planning knobs live in PlannerConfig)."""
 
     workers: int = 2
-    """Worker threads draining the queue.  Planning is pure Python, so
-    the GIL caps speed-up; the pool's job is isolation and batching."""
+    """Worker threads draining the queue.  With the default ``thread``
+    executor planning runs inline on these threads (pure Python, so the
+    GIL caps speed-up; the pool's job is isolation and batching); with
+    ``executor="process"`` they dispatch planning to the process pool."""
+
+    executor: str = "thread"
+    """Where planning runs: ``"thread"`` (inline on the worker thread)
+    or ``"process"`` (a multiprocessing pool of ``workers`` processes,
+    so throughput scales with cores).  Plans are identical either way —
+    planning is deterministic."""
 
     max_queue_depth: int = 128
     """Bound on unresolved *distinct* flights; beyond it, load-shed."""
@@ -72,6 +81,10 @@ class ServiceConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTOR_MODES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -182,6 +195,12 @@ class PlanService:
             capacity=self.config.cache_capacity, spill_path=self.config.spill_path
         )
         self.queue = RequestQueue(max_depth=self.config.max_queue_depth)
+        self.backend = PlanningBackend(
+            executor=self.config.executor,
+            strategy_name=planner.strategy_name,
+            config=planner.config,
+            processes=self.config.workers,
+        )
         self._threads: list[threading.Thread] = []
         self._started = False
         self._closed = False
@@ -199,6 +218,10 @@ class PlanService:
             loaded = self.cache.load()
             if loaded:
                 self.metrics.counter("cache_entries_loaded").inc(loaded)
+        # The process pool (if any) must fork before the worker threads
+        # start: forking a multi-threaded process risks inheriting locks
+        # in undefined states.
+        self.backend.start()
         for index in range(self.config.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"plan-worker-{index}", daemon=True
@@ -217,6 +240,7 @@ class PlanService:
         self.queue.close()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        self.backend.close()
         if self.config.spill_path is not None:
             self.cache.save()
 
@@ -328,7 +352,7 @@ class PlanService:
             try:
                 with self._invocation_lock:
                     self._invocations += 1
-                return self.planner.plan_user(graph), None
+                return self.backend.plan(self.planner, graph), None
             except Exception as exc:  # noqa: BLE001 - worker must not die
                 last_error = f"{type(exc).__name__}: {exc}"
                 if attempt + 1 < attempts:
