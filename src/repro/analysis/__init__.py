@@ -1,0 +1,37 @@
+"""Repo-aware static analysis for the reproduction stack.
+
+``repro.analysis`` enforces the invariants the serving and planning
+layers rely on but Python cannot express: determinism of the planning
+packages, lock discipline in the shared-state classes, process-pool
+payload safety, and exception hygiene.  Run it as ``repro-lint`` (or
+``python -m repro lint``); see DESIGN.md for the rule catalogue and the
+suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    ModuleUnit,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    register,
+    select_rules,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import Suppression
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleUnit",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "register",
+    "select_rules",
+]

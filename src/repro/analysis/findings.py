@@ -1,0 +1,62 @@
+"""Findings: what a rule reports, where, and how to fix it.
+
+A :class:`Finding` is one concrete violation anchored to a file and
+line.  Findings are plain frozen data — the engine produces them, the
+CLI renders them (text or JSON), and tests assert on them — so they
+carry everything a reader needs in one place: the rule id, a message
+stating the defect, and a fix hint stating the repo-sanctioned remedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    """File the violation lives in (as given to the analyzer)."""
+
+    line: int
+    """1-indexed source line of the offending node."""
+
+    rule_id: str
+    """``family/rule-name`` identifier (e.g. ``determinism/id-keyed-state``)."""
+
+    message: str
+    """What is wrong, stated as a fact about this code."""
+
+    hint: str = ""
+    """The repo-sanctioned fix, when one exists."""
+
+    suppressible: bool = True
+    """Audit findings about suppressions themselves are not suppressible —
+    otherwise a stale ``allow`` comment could hide its own staleness."""
+
+    @property
+    def family(self) -> str:
+        """The rule family (text before the first ``/``)."""
+        return self.rule_id.split("/", 1)[0]
+
+    @property
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule_id)
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line: [rule] message``)."""
+        text = f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the CI artifact schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,126 @@
+"""Exception hygiene: broad handlers must explain and account for themselves.
+
+A ``except Exception`` that silently swallows is how a fleet loses a
+node without a metric moving: the failure is converted into "nothing
+happened".  The stack does legitimately need broad handlers — retry
+loops in the cluster executor, failover paths in the fleet — but each
+one must satisfy two obligations:
+
+* a written rationale (a comment on the handler or its first lines)
+  saying *why* catching everything is correct here;
+* the failure must not vanish: the handler re-raises, or records the
+  event somewhere observable (a logger, a metric, a retry counter).
+
+A bare ``except:`` is never acceptable — it also traps
+``KeyboardInterrupt`` and ``SystemExit``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import ModuleUnit, Rule, register
+from repro.analysis.findings import Finding
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+_RECORDING_CALL = re.compile(
+    r"log|warn|error|debug|exception|record|metric|counter|histogram"
+    r"|observe|inc\b|increment|retry|stat",
+    re.IGNORECASE,
+)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    """The broad exception name this handler catches, or None."""
+    if handler.type is None:
+        return "bare"
+    names = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for name_node in names:
+        if isinstance(name_node, ast.Name) and name_node.id in _BROAD_NAMES:
+            return name_node.id
+        if isinstance(name_node, ast.Attribute) and name_node.attr in _BROAD_NAMES:
+            return name_node.attr
+    return None
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or calls something observability-shaped."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else ""
+            )
+            if _RECORDING_CALL.search(attr):
+                return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    """Broad handlers need a rationale and must re-raise or record."""
+
+    rule_id = "exceptions/silent-broad-except"
+    description = (
+        "every `except Exception` must carry a rationale comment and either "
+        "re-raise or record the failure to a log/metric; bare `except:` is "
+        "never allowed"
+    )
+
+    def check(self, module: ModuleUnit) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _is_broad(node)
+            if broad is None:
+                continue
+            if broad == "bare":
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        "bare `except:` also traps KeyboardInterrupt and "
+                        "SystemExit; the process becomes uninterruptible",
+                        hint="catch Exception (with rationale) or the "
+                        "specific exceptions expected",
+                    )
+                )
+                continue
+            first_body_line = node.body[0].lineno if node.body else node.lineno
+            rationale = module.comment_text_near(node.lineno - 1, first_body_line)
+            if not rationale:
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"`except {broad}` without a rationale comment: why "
+                        "is catching everything correct here?",
+                        hint="add a comment on or just above the handler "
+                        "explaining the contract that makes this safe",
+                    )
+                )
+            if not _records_failure(node):
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"`except {broad}` neither re-raises nor records the "
+                        "failure; the error vanishes without a trace",
+                        hint="re-raise, log, or bump a metric inside the "
+                        "handler",
+                    )
+                )
+        return findings

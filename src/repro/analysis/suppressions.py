@@ -1,0 +1,123 @@
+"""Inline suppressions: ``# repro: allow[rule-id] <reason>``.
+
+A suppression silences one rule (or a whole family) on the line it
+annotates — or on the line directly below, for the common case of a
+comment placed above a long statement.  Suppressions are *audited*:
+
+* a suppression without a written reason is itself a finding
+  (``analysis/suppression-missing-reason``) — the reason is the review
+  record for why the invariant is waived here;
+* a suppression that silences nothing is itself a finding
+  (``analysis/unused-suppression``) — stale allows hide future
+  violations on the same line.
+
+Neither audit finding can be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+_SUPPRESSION = re.compile(
+    r"repro:\s*allow\[(?P<rule>[A-Za-z0-9_./-]+)\]\s*(?P<reason>.*)$"
+)
+
+_MIN_REASON_LENGTH = 8
+"""Shortest acceptable reason; anything shorter is noise, not a record."""
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    path: str
+    line: int
+    rule_id: str
+    """Full rule id or bare family name (``determinism`` allows all
+    ``determinism/*`` rules on the line)."""
+
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this suppression covers *finding* (id or family)."""
+        return finding.rule_id == self.rule_id or finding.family == self.rule_id
+
+    def covers_line(self, line: int) -> bool:
+        """A suppression annotates its own line and the line below."""
+        return line in (self.line, self.line + 1)
+
+
+def collect_suppressions(path: str, source: str) -> list[Suppression]:
+    """Extract every suppression comment from *source*.
+
+    Tokenizing (rather than regex over raw lines) keeps the scan from
+    matching the pattern inside string literals — the analyzer's own
+    test fixtures embed suppressions in source strings.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            suppressions.append(
+                Suppression(
+                    path=path,
+                    line=token.start[0],
+                    rule_id=match.group("rule"),
+                    reason=match.group("reason").strip(),
+                )
+            )
+    except tokenize.TokenError:
+        # The engine only tokenizes sources that already parsed with
+        # ast; a tokenize failure here means no comments are readable,
+        # so the module simply has no suppressions.
+        return suppressions
+    return suppressions
+
+
+def audit_suppressions(suppressions: list[Suppression]) -> list[Finding]:
+    """Findings for reason-less and unused suppressions (unsuppressible)."""
+    findings: list[Finding] = []
+    for suppression in suppressions:
+        if len(suppression.reason) < _MIN_REASON_LENGTH:
+            findings.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    rule_id="analysis/suppression-missing-reason",
+                    message=(
+                        f"suppression for {suppression.rule_id!r} carries no "
+                        "written reason"
+                    ),
+                    hint=(
+                        "state why the invariant is safely waived here, "
+                        "after the closing bracket"
+                    ),
+                    suppressible=False,
+                )
+            )
+        if not suppression.used:
+            findings.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    rule_id="analysis/unused-suppression",
+                    message=(
+                        f"suppression for {suppression.rule_id!r} silences "
+                        "nothing on this line"
+                    ),
+                    hint="delete it; stale allows hide future violations",
+                    suppressible=False,
+                )
+            )
+    return findings

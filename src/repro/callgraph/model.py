@@ -9,7 +9,7 @@ it may be offloaded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.graphs.weighted_graph import WeightedGraph
 

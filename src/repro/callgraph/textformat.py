@@ -24,7 +24,7 @@ planner.  The format is line-oriented and diff-friendly:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.callgraph.model import FunctionCallGraph
 

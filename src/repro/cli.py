@@ -23,7 +23,10 @@ Commands:
 * ``fleet-bench`` — replay an arrival trace over a multi-server edge
   fleet once per routing policy, reporting load balance, aggregate
   plan-cache hit rate and ``E + T`` vs. a single server of equal total
-  capacity.
+  capacity;
+* ``lint``      — run the repo's static-analysis battery (determinism,
+  lock discipline, process-pool safety, exception hygiene); also
+  installed as the ``repro-lint`` console script.
 
 Every command takes ``--seed`` and prints plain-text tables, so runs are
 reproducible and diffable.
@@ -174,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="tiny fast path (16 requests, 4 apps of 30 functions, 4 servers) for CI",
     )
+
+    lint = sub.add_parser(
+        "lint", help="run the static-analysis battery (also: repro-lint)"
+    )
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -605,6 +615,12 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "figures": cmd_figures,
@@ -617,6 +633,7 @@ _COMMANDS = {
     "verify": cmd_verify,
     "serve-bench": cmd_serve_bench,
     "fleet-bench": cmd_fleet_bench,
+    "lint": cmd_lint,
 }
 
 

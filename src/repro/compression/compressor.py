@@ -11,7 +11,7 @@ independently, optionally in parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.compression.labels import QuantileThreshold, ThresholdRule
 from repro.compression.merge import CompressedGraph, merge_labeled_graph

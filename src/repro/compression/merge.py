@@ -12,7 +12,7 @@ which is exactly the guarantee compression exists to provide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

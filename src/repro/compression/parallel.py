@@ -13,7 +13,8 @@ Fig. 9 timing comparison.)
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Hashable
+from collections.abc import Hashable
+from typing import TYPE_CHECKING
 
 from repro.compression.merge import merge_labeled_graph
 from repro.compression.propagation import LabelPropagation, PropagationReport

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Hashable
+from collections.abc import Hashable
 
 import numpy as np
 

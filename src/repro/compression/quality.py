@@ -17,7 +17,7 @@ Algorithm 1's behaviour on clustered workloads.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.compression.merge import CompressedGraph
 from repro.graphs.weighted_graph import WeightedGraph

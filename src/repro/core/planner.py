@@ -10,14 +10,15 @@ Identical applications are planned once: ``plan_system`` caches per
 *content fingerprint* (see :mod:`repro.service.fingerprint`), so
 structurally identical graphs share plans even when they arrive as
 distinct objects — the realistic multi-user case.  Configs that cannot
-be fingerprinted (custom objects without a canonical encoding) fall back
-to object-identity keying, which still covers the graph-pool workloads.
+be fingerprinted (custom objects without a canonical encoding) are
+planned without caching; identity-keyed caching is deliberately absent
+because object ids are recycled after garbage collection.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Hashable, Mapping
+from collections.abc import Hashable, Mapping
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.compression.compressor import GraphCompressor
@@ -177,13 +178,13 @@ class OffloadingPlanner:
         identical graphs (same content fingerprint — not merely
         ``is``-identical objects) are planned once and their parts
         reused.  When the planner config cannot be fingerprinted the
-        keying degrades to object identity, preserving the old pool
-        behaviour.
+        graph is planned without caching: no identity-derived key ever
+        enters the cache, so a recycled object id can never alias two
+        different graphs onto one plan.
         """
         started = time.perf_counter()
 
         plan_cache: dict[Hashable, UserPlan] = {}
-        key_memo: dict[int, Hashable] = {}
         user_plans: dict[str, UserPlan] = {}
         apps: dict[str, PartitionedApplication] = {}
         bisections: dict[str, list[tuple[set[int], set[int]]]] = {}
@@ -192,13 +193,13 @@ class OffloadingPlanner:
             call_graph = call_graphs.get(user.user_id)
             if call_graph is None:
                 raise KeyError(f"no call graph supplied for user {user.user_id!r}")
-            cache_key = key_memo.get(id(call_graph))
+            cache_key = self._plan_key(call_graph)
             if cache_key is None:
-                cache_key = self._plan_key(call_graph)
-                key_memo[id(call_graph)] = cache_key
-            if cache_key not in plan_cache:
-                plan_cache[cache_key] = self.plan_user(call_graph)
-            plan = plan_cache[cache_key]
+                plan = self.plan_user(call_graph)
+            elif cache_key in plan_cache:
+                plan = plan_cache[cache_key]
+            else:
+                plan = plan_cache[cache_key] = self.plan_user(call_graph)
             user_plans[user.user_id] = plan
             apps[user.user_id] = PartitionedApplication(
                 user_id=user.user_id,
@@ -216,7 +217,7 @@ class OffloadingPlanner:
                 weights=self.config.objective,
                 placement_mode=self.config.initial_placement_mode,
             )
-        for plan in plan_cache.values():
+        for plan in user_plans.values():
             plan.stage_seconds["greedy"] = greedy_watch.elapsed
         elapsed = time.perf_counter() - started
         return PlanResult(
@@ -228,13 +229,16 @@ class OffloadingPlanner:
             strategy_name=self.strategy_name,
         )
 
-    def _plan_key(self, call_graph: FunctionCallGraph) -> Hashable:
-        """Content-fingerprint cache key with an identity fallback.
+    def _plan_key(self, call_graph: FunctionCallGraph) -> Hashable | None:
+        """Content-fingerprint cache key, or ``None`` if unfingerprintable.
 
         The service layer shares the exact same keying (see
         :func:`repro.service.fingerprint.request_fingerprint`), so plans
         cached here and plans cached there never disagree about what
-        counts as "the same request".
+        counts as "the same request".  ``None`` means "do not cache":
+        there is deliberately no identity fallback, because ``id()``
+        values are recycled after garbage collection and an id-keyed
+        entry can serve one graph's plan for a different graph.
         """
         # Local import: repro.service sits above repro.core in the layer
         # order; only this helper reaches up, and only lazily.
@@ -243,7 +247,7 @@ class OffloadingPlanner:
         try:
             return request_fingerprint(call_graph, self.config, self.strategy_name)
         except FingerprintError:
-            return ("id", id(call_graph))
+            return None
 
     def cut_graph(self, graph: WeightedGraph) -> CutOutcome:
         """Expose the configured cut strategy (used by ablation benches)."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from collections.abc import Callable, Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mec.greedy import GreedyResult

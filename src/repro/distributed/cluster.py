@@ -8,7 +8,8 @@ and hands out :class:`~repro.distributed.rdd.RDD` datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
 
 from repro.distributed.executor import SerialExecutor, TaskExecutor, ThreadedExecutor
 
@@ -96,6 +97,11 @@ class LocalCluster:
             while True:
                 try:
                     return task()
+                # Broad by contract: stage tasks are pure closures over
+                # immutable partitions, so *any* failure is retryable and
+                # must be counted against the retry budget (Spark task
+                # fault-tolerance semantics).  Exhausting the budget
+                # re-raises the last exception and aborts the stage.
                 except Exception:
                     attempts += 1
                     if attempts > self.max_task_retries:

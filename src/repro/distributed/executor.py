@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import abc
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")

@@ -9,7 +9,8 @@ per partition, scheduled through the owning cluster.
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import Generic, TypeVar
 
 from repro.distributed.cluster import LocalCluster
 

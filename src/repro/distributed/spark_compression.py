@@ -11,7 +11,7 @@ compressor regardless of scheduling or retries.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.compression.compressor import CompressionConfig, CompressionResult
 from repro.compression.merge import merge_labeled_graph

@@ -12,7 +12,7 @@ Available from the CLI as ``python -m repro verify``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.experiments.figures import (
     EnergyRow,

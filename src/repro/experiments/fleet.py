@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.fleet.fleet import EdgeFleet
 from repro.fleet.routing import ROUTING_POLICIES, make_routing_policy

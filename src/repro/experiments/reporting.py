@@ -8,7 +8,8 @@ the same convention.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 Row = TypeVar("Row")
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.baselines import make_planner
 from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
@@ -369,7 +370,7 @@ class EdgeFleet:
                     # raises exactly where a sequential loop would.
                     self.metrics.counter("fleet_preplan_failures").inc()
                 else:
-                    precomputed = dict(zip(keys, plans))
+                    precomputed = dict(zip(keys, plans, strict=True))
         return [
             self._admit_one(
                 device, graph, fallback_plan=precomputed.get(self.request_key(graph))

@@ -30,8 +30,8 @@ from __future__ import annotations
 import abc
 import bisect
 import hashlib
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.utils.rng import RandomSource
 
@@ -174,7 +174,7 @@ class FingerprintAffinityRouting(RoutingPolicy):
             self._rebuild(self._members - {server_id})
 
 
-_POLICY_BUILDERS = {
+_POLICY_BUILDERS: dict[str, Callable[[int], RoutingPolicy]] = {
     "round-robin": lambda seed: RoundRobinRouting(),
     "least-loaded": lambda seed: LeastLoadedRouting(),
     "power-of-two": lambda seed: PowerOfTwoRouting(seed),

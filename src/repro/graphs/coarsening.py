@@ -16,7 +16,7 @@ the benches can swap them freely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.compression.merge import CompressedGraph
 from repro.graphs.weighted_graph import WeightedGraph

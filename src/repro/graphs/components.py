@@ -7,7 +7,7 @@ provide that split.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.traversal import bfs_order
 from repro.graphs.weighted_graph import WeightedGraph

@@ -29,7 +29,7 @@ can accept either representation.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 from scipy import sparse

@@ -7,7 +7,7 @@ compression clustering is visually inspectable in seconds.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.graphs.weighted_graph import WeightedGraph
 

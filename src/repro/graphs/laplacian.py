@@ -14,7 +14,7 @@ every matrix they need.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 from scipy import sparse

@@ -9,7 +9,7 @@ output, and by the conductance/Cheeger machinery in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

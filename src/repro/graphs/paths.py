@@ -14,7 +14,7 @@ are near each other, loosely coupled ones far apart.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Hashable
+from collections.abc import Callable, Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

@@ -9,7 +9,7 @@ orders defined here.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

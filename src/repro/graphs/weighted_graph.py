@@ -13,7 +13,8 @@ representation.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator, Mapping
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
 
 NodeId = Hashable
 

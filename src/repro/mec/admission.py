@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.mec.devices import EdgeServer
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -11,7 +11,8 @@ operating point for a deployment.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.objective import ObjectiveWeights

@@ -11,7 +11,7 @@ candidate placement costs O(parts^2) arithmetic rather than graph scans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.callgraph.model import FunctionCallGraph
 

@@ -9,7 +9,7 @@ formulas (1)-(5) and the server allocation policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.admission import AllocationPolicy, FCFSQueueAllocation

@@ -10,7 +10,7 @@ everything wrong at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.scheme import OffloadingScheme

@@ -10,7 +10,7 @@ found by DFS with the standard current-arc optimisation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mincut.edmonds_karp import MaxFlowResult

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mincut.edmonds_karp import edmonds_karp

@@ -15,7 +15,7 @@ contraction actually needs on call-graph-shaped inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.utils.rng import RandomSource

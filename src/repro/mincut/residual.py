@@ -9,7 +9,7 @@ so augmenting algorithms can cancel earlier flow.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterator
+from collections.abc import Hashable, Iterator
 
 from repro.graphs.weighted_graph import WeightedGraph
 

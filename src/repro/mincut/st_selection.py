@@ -12,7 +12,7 @@ the global minimum cut on call-graph-shaped inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.traversal import farthest_node
 from repro.graphs.weighted_graph import WeightedGraph

@@ -10,7 +10,7 @@ O(V^3) with a simple priority structure — ample for compressed sub-graphs.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

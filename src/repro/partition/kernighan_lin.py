@@ -16,7 +16,7 @@ ties by node insertion order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.utils.rng import RandomSource

@@ -10,7 +10,7 @@ a modern implementation of the paper's KL baseline would actually use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.coarsening import CoarseningLevel, coarsen_graph
 from repro.graphs.weighted_graph import WeightedGraph

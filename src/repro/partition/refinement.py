@@ -8,7 +8,7 @@ the ablation bench measures how much cut weight it recovers.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.graphs.weighted_graph import WeightedGraph
 

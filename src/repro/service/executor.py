@@ -22,7 +22,9 @@ plans for identical requests (asserted by the parity tests).
 from __future__ import annotations
 
 import multiprocessing
-from typing import TYPE_CHECKING, Sequence
+import multiprocessing.pool
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.core.config import PlannerConfig
@@ -33,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 EXECUTOR_MODES = ("thread", "process")
 
-_WORKER_PLANNER = None
+_WORKER_PLANNER: "OffloadingPlanner | None" = None
 """Per-worker-process planner, rebuilt by :func:`_initialize_worker`."""
 
 

@@ -10,7 +10,7 @@ returns aligned results, ready for a table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.mec.scheme import PartitionedApplication
 from repro.mec.system import MECSystem

@@ -9,7 +9,8 @@ helpers to filter, render, and export the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from repro.mec.scheme import PartitionedApplication
 from repro.mec.system import MECSystem
@@ -70,7 +71,7 @@ class SimulationTrace:
     def is_time_ordered(self) -> bool:
         """Whether timestamps never decrease (a core engine invariant)."""
         times = [e.time for e in self.entries]
-        return all(later >= earlier for earlier, later in zip(times, times[1:]))
+        return all(later >= earlier for earlier, later in zip(times, times[1:], strict=False))
 
 
 class _TracingQueue:

@@ -9,7 +9,7 @@ resolved by a median split so neither side is ever empty for ``n >= 2``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -59,7 +59,7 @@ def spectral_bisect(
         return BisectionResult(set(order), set(), 0.0, result)
 
     threshold = float(np.median(result.vector)) if balanced else 0.0
-    part_one = {node for node, entry in zip(order, result.vector) if entry >= threshold}
+    part_one = {node for node, entry in zip(order, result.vector, strict=True) if entry >= threshold}
     part_two = set(order) - part_one
 
     if not part_one or not part_two:

@@ -19,7 +19,7 @@ Two uses here:
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 import numpy as np
 

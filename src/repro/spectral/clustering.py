@@ -12,7 +12,7 @@ k-means++ initialisation — no sklearn dependency.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -114,4 +114,4 @@ def spectral_clustering(
     _, vectors = np.linalg.eigh(laplacian)
     embedding = vectors[:, 1 : min(k, n)]
     labels = kmeans(embedding, k, seed=seed)
-    return {node: int(label) for node, label in zip(order, labels)}
+    return {node: int(label) for node, label in zip(order, labels, strict=True)}

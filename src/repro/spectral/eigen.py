@@ -15,7 +15,7 @@ iteration with the constant vector deflated — is exactly the Fiedler pair.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -17,13 +17,14 @@ solvers here by injecting a cluster-backed matvec.
 from __future__ import annotations
 
 import enum
+import logging
 import threading
 from collections import OrderedDict
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
 
 import numpy as np
-from scipy.sparse.linalg import eigsh
+from scipy.sparse.linalg import ArpackError, eigsh
 
 from repro.graphs.csr import CSRGraph, as_csr
 from repro.graphs.laplacian import laplacian_matrix, sparse_laplacian
@@ -32,6 +33,8 @@ from repro.spectral.eigen import smallest_nontrivial_laplacian_eigenpair
 from repro.spectral.lanczos import lanczos_smallest_nontrivial
 
 NodeId = Hashable
+
+_LOG = logging.getLogger(__name__)
 
 _DENSE_CUTOFF = 600
 
@@ -119,6 +122,8 @@ class FiedlerSolver:
         self._warm_lock = threading.Lock()
         self.warm_hits = 0
         self.warm_misses = 0
+        self.sparse_fallbacks = 0
+        """Times shift-invert ``eigsh`` failed and the SA fallback ran."""
 
     def solve(
         self,
@@ -227,9 +232,18 @@ class FiedlerSolver:
             values, vectors = eigsh(
                 laplacian, k=k, sigma=0.0, which="LM", tol=self.tol, v0=v0
             )
-        except Exception:
-            # Shift-invert can fail on exactly singular factorizations
-            # (e.g. disconnected graphs); fall back to smallest-algebraic.
+        except (RuntimeError, ArpackError) as exc:
+            # Shift-invert fails on exactly singular factorizations
+            # (disconnected graphs: RuntimeError from the SuperLU factor,
+            # ArpackError on non-convergence); smallest-algebraic mode
+            # needs no factorization and always converges for k <= 2.
+            self.sparse_fallbacks += 1
+            _LOG.warning(
+                "shift-invert eigsh failed on %d-node Laplacian (%s); "
+                "falling back to smallest-algebraic mode",
+                n,
+                exc,
+            )
             values, vectors = eigsh(
                 laplacian, k=k, which="SA", tol=max(self.tol, 1e-8), v0=v0
             )

@@ -13,7 +13,7 @@ is the known 0-eigenvector of a connected Laplacian.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -96,7 +96,10 @@ def lanczos_smallest_nontrivial(
     smallest = int(np.argmin(ritz_values))
     coefficients = ritz_vectors[:, smallest]
     vector = np.zeros(n)
-    for coefficient, b in zip(coefficients, basis):
+    # basis can hold one more vector than coefficients when the beta
+    # tolerance break fires after extending the basis; the extra vector
+    # has no Ritz weight, so the shorter zip is the correct contraction.
+    for coefficient, b in zip(coefficients, basis, strict=False):
         vector += coefficient * b
     norm = np.linalg.norm(vector)
     if norm > 0:

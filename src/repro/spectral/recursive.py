@@ -19,7 +19,7 @@ relative to the computation it unlocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.spectral.bisection import spectral_bisect

@@ -13,7 +13,7 @@ spectral reasoning agree with each other.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 import numpy as np
 

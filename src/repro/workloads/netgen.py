@@ -106,7 +106,7 @@ def netgen_graph(config: NetgenConfig) -> WeightedGraph:
 
     components = _partition_nodes(config.n_nodes, config.component_count, rng)
     budgets = _edge_budgets(components, config.n_edges)
-    for component, budget in zip(components, budgets):
+    for component, budget in zip(components, budgets, strict=True):
         _generate_component(graph, component, budget, config, rng)
     _fill_to_exact_count(graph, components, config, rng)
     return graph

@@ -1,0 +1,474 @@
+"""Tests for the ``repro.analysis`` static-analysis battery.
+
+Each rule family is exercised with at least one seeded violation
+(including an ``id()``-keyed-cache fixture mirroring the historical
+planner bug), suppression semantics and their audit are covered, the
+CLI's exit codes and JSON schema are checked, and — the gate itself —
+the shipped tree must come back clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    select_rules,
+)
+from repro.analysis.cli import main as lint_main
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _scan(source: str, module_name: str = "repro.core.fixture") -> list:
+    return analyze_source(textwrap.dedent(source), module_name=module_name)
+
+
+def _rule_ids(findings) -> set[str]:
+    return {finding.rule_id for finding in findings}
+
+
+class TestDeterminismRules:
+    def test_global_random_call_flagged(self):
+        findings = _scan(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert "determinism/unseeded-random" in _rule_ids(findings)
+
+    def test_unseeded_default_rng_flagged_seeded_allowed(self):
+        findings = _scan(
+            """
+            import numpy as np
+
+            bad = np.random.default_rng()
+            good = np.random.default_rng(7)
+            """
+        )
+        unseeded = [
+            f for f in findings if f.rule_id == "determinism/unseeded-random"
+        ]
+        assert len(unseeded) == 1
+
+    def test_legacy_numpy_global_api_flagged(self):
+        findings = _scan(
+            """
+            import numpy as np
+
+            noise = np.random.rand(8)
+            """
+        )
+        assert "determinism/unseeded-random" in _rule_ids(findings)
+
+    def test_wall_clock_flagged_measurement_clock_allowed(self):
+        findings = _scan(
+            """
+            import time
+
+            stamp = time.time()
+            elapsed = time.perf_counter()
+            """
+        )
+        wall = [f for f in findings if f.rule_id == "determinism/wall-clock"]
+        assert len(wall) == 1
+
+    def test_id_keyed_cache_fixture_mirroring_planner_bug(self):
+        # The exact shape of the historical planner bug: an id()-keyed
+        # memo plus an ("id", id(...)) fallback cache key.
+        findings = _scan(
+            """
+            def plan_system(call_graphs):
+                key_memo = {}
+                for graph in call_graphs:
+                    cache_key = key_memo.get(id(graph))
+                    if cache_key is None:
+                        cache_key = ("id", id(graph))
+                        key_memo[id(graph)] = cache_key
+            """
+        )
+        id_findings = [
+            f for f in findings if f.rule_id == "determinism/id-keyed-state"
+        ]
+        assert len(id_findings) == 3
+        assert "fingerprint" in id_findings[0].hint
+
+    def test_rules_scoped_to_planning_packages(self):
+        source = """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert _scan(source, module_name="repro.experiments.fixture") == []
+
+
+class TestLockRules:
+    def test_unguarded_write_to_guarded_attribute(self):
+        findings = _scan(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._value += 1
+
+                def reset(self):
+                    self._value = 0
+            """,
+            module_name="repro.service.fixture",
+        )
+        unguarded = [
+            f for f in findings if f.rule_id == "locks/unguarded-attribute"
+        ]
+        assert len(unguarded) == 1
+        assert "_value" in unguarded[0].message
+
+    def test_write_in_except_block_is_not_invisible(self):
+        findings = _scan(
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._errors = 0
+
+                def record(self):
+                    with self._lock:
+                        self._errors += 1
+
+                def run(self, task):
+                    try:
+                        task()
+                    except ValueError:
+                        self._errors += 1
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert "locks/unguarded-attribute" in _rule_ids(findings)
+
+    def test_init_and_guarded_writes_pass(self):
+        findings = _scan(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._value += 1
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_inconsistent_lock_order_flagged(self):
+        findings = _scan(
+            """
+            class Transfer:
+                def debit(self):
+                    with self._accounts_lock:
+                        with self._audit_lock:
+                            pass
+
+                def credit(self):
+                    with self._audit_lock:
+                        with self._accounts_lock:
+                            pass
+            """,
+            module_name="repro.service.fixture",
+        )
+        order = [f for f in findings if f.rule_id == "locks/lock-order"]
+        assert len(order) == 1
+
+    def test_consistent_lock_order_passes(self):
+        findings = _scan(
+            """
+            class Transfer:
+                def debit(self):
+                    with self._accounts_lock:
+                        with self._audit_lock:
+                            pass
+
+                def credit(self):
+                    with self._accounts_lock:
+                        with self._audit_lock:
+                            pass
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert [f for f in findings if f.rule_id == "locks/lock-order"] == []
+
+
+class TestPoolSafetyRules:
+    def test_lambda_submission_flagged(self):
+        findings = _scan(
+            """
+            import multiprocessing
+
+            def run(pool, planner):
+                return pool.apply(lambda: planner.plan_user(None))
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert "poolsafety/nonportable-callable" in _rule_ids(findings)
+
+    def test_bound_method_submission_flagged(self):
+        findings = _scan(
+            """
+            import multiprocessing
+
+            def run(pool, planner):
+                return pool.apply(planner.plan_user, (None,))
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert "poolsafety/nonportable-callable" in _rule_ids(findings)
+
+    def test_nonportable_initializer_flagged(self):
+        findings = _scan(
+            """
+            import multiprocessing
+
+            def start(setup):
+                return multiprocessing.Pool(initializer=setup)
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert "poolsafety/nonportable-callable" in _rule_ids(findings)
+
+    def test_module_level_function_passes(self):
+        findings = _scan(
+            """
+            import multiprocessing
+
+            def _plan_in_worker(graph):
+                return graph
+
+            def run(pool, graphs):
+                return pool.map(_plan_in_worker, graphs)
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_thread_pool_modules_exempt(self):
+        findings = _scan(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(pool, task):
+                return pool.submit(lambda: task())
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert findings == []
+
+
+class TestExceptionRules:
+    def test_bare_except_always_flagged(self):
+        findings = _scan(
+            """
+            def swallow(task):
+                try:
+                    task()
+                except:
+                    pass
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert "exceptions/silent-broad-except" in _rule_ids(findings)
+
+    def test_silent_broad_except_flagged_twice(self):
+        # No rationale comment AND no re-raise/recording: two findings.
+        findings = _scan(
+            """
+            def swallow(task):
+                try:
+                    task()
+                except Exception:
+                    pass
+            """,
+            module_name="repro.service.fixture",
+        )
+        broad = [
+            f for f in findings if f.rule_id == "exceptions/silent-broad-except"
+        ]
+        assert len(broad) == 2
+
+    def test_rationale_plus_metric_passes(self):
+        findings = _scan(
+            """
+            def guarded(task, metrics):
+                try:
+                    task()
+                # Broad by contract: callbacks are user-supplied and any
+                # failure must be counted, not propagated.
+                except Exception:
+                    metrics.counter("task_errors").inc()
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_rationale_plus_reraise_passes(self):
+        findings = _scan(
+            """
+            def guarded(task):
+                try:
+                    task()
+                # Broad on purpose: annotate and propagate.
+                except Exception as exc:
+                    raise RuntimeError("task failed") from exc
+            """,
+            module_name="repro.service.fixture",
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_suppression_with_reason_silences_finding(self):
+        findings = _scan(
+            """
+            import time
+
+            stamp = time.time()  # repro: allow[determinism/wall-clock] log timestamps are cosmetic here
+            """
+        )
+        assert findings == []
+
+    def test_family_wide_suppression_matches(self):
+        findings = _scan(
+            """
+            import time
+
+            stamp = time.time()  # repro: allow[determinism] fixture exercises family match
+            """
+        )
+        assert findings == []
+
+    def test_suppression_without_reason_is_audited(self):
+        findings = _scan(
+            """
+            import time
+
+            stamp = time.time()  # repro: allow[determinism/wall-clock]
+            """
+        )
+        assert "analysis/suppression-missing-reason" in _rule_ids(findings)
+
+    def test_unused_suppression_is_audited(self):
+        findings = _scan(
+            """
+            x = 1  # repro: allow[determinism/wall-clock] nothing here actually violates
+            """
+        )
+        assert _rule_ids(findings) == {"analysis/unused-suppression"}
+
+    def test_suppression_on_preceding_line_covers_next_line(self):
+        findings = _scan(
+            """
+            import time
+
+            # repro: allow[determinism/wall-clock] covered from the line above
+            stamp = time.time()
+            """
+        )
+        assert findings == []
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self):
+        findings = analyze_source("def broken(:\n", path="broken.py")
+        assert _rule_ids(findings) == {"analysis/parse-error"}
+        assert not findings[0].suppressible
+
+    def test_select_rules_by_family_and_id(self):
+        family = select_rules(["determinism"])
+        assert {rule.rule_id.split("/")[0] for rule in family} == {"determinism"}
+        exact = select_rules(["locks/lock-order"])
+        assert [rule.rule_id for rule in exact] == ["locks/lock-order"]
+
+    def test_select_rules_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown rule selector"):
+            select_rules(["nonsense"])
+
+    def test_rule_battery_has_all_four_families(self):
+        families = {rule.rule_id.split("/")[0] for rule in all_rules()}
+        assert {"determinism", "locks", "poolsafety", "exceptions"} <= families
+
+    def test_shipped_tree_is_clean(self):
+        report = analyze_paths([REPO_SRC])
+        assert isinstance(report, AnalysisReport)
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.clean, f"repro-lint found:\n{rendered}"
+        assert report.files_scanned > 100
+        unexplained = [s for s in report.suppressions if not s.reason]
+        assert unexplained == []
+
+
+class TestCli:
+    def test_clean_tree_exits_zero_strict(self, capsys):
+        assert lint_main(["--strict", str(REPO_SRC / "utils")]) == 0
+        out = capsys.readouterr().out
+        assert "repro-lint: clean" in out
+
+    def test_findings_exit_one_only_under_strict(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "fixture.py").write_text("import time\nstamp = time.time()\n")
+        assert lint_main([str(bad)]) == 0
+        assert lint_main(["--strict", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "determinism/wall-clock" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main(["/nonexistent/nowhere"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--rules", "bogus", str(REPO_SRC / "utils")]) == 2
+        assert "unknown rule selector" in capsys.readouterr().err
+
+    def test_json_output_and_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "lint-report.json"
+        code = lint_main(
+            ["--format", "json", "--json-out", str(artifact), str(REPO_SRC / "utils")]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(artifact.read_text())
+        assert payload["version"] == 1
+        assert payload["files_scanned"] > 0
+        assert payload["findings"] == []
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("determinism/", "locks/", "poolsafety/", "exceptions/"):
+            assert family in out
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--strict", str(REPO_SRC / "utils")]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out

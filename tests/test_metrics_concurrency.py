@@ -1,0 +1,176 @@
+"""Thread-safety hammers for the service metrics and the warm-start cache.
+
+Every test drives real threads through a shared object and asserts an
+*exact* expected total afterwards — a lost update (the classic
+read-modify-write race these locks exist to prevent) shows up as an
+off-by-N, not a flake.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_graph, path_graph, two_cluster_graph
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.spectral.fiedler import FiedlerSolver
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _hammer(worker, threads: int = THREADS) -> None:
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [pool.submit(worker, index) for index in range(threads)]
+        for future in futures:
+            future.result()
+
+
+class TestCounter:
+    def test_concurrent_increments_sum_exactly(self):
+        counter = Counter("hits")
+
+        def worker(_index: int) -> None:
+            for _ in range(ITERATIONS):
+                counter.inc()
+
+        _hammer(worker)
+        assert counter.value == THREADS * ITERATIONS
+
+    def test_concurrent_weighted_increments_sum_exactly(self):
+        counter = Counter("bytes")
+
+        def worker(index: int) -> None:
+            for _ in range(ITERATIONS):
+                counter.inc(index + 1)
+
+        _hammer(worker)
+        expected = ITERATIONS * sum(range(1, THREADS + 1))
+        assert counter.value == expected
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_concurrent_deltas_cancel_exactly(self):
+        gauge = Gauge("depth")
+
+        def worker(_index: int) -> None:
+            for _ in range(ITERATIONS):
+                gauge.add(1.0)
+                gauge.add(-1.0)
+
+        _hammer(worker)
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_concurrent_observations_exact_count_and_total(self):
+        histogram = Histogram("latency", window=64)
+
+        def worker(_index: int) -> None:
+            for _ in range(ITERATIONS):
+                histogram.observe(2.0)
+
+        _hammer(worker)
+        assert histogram.count == THREADS * ITERATIONS
+        # mean is exact (total/count), not windowed: identical samples
+        # make any interleaving give exactly 2.0 unless an update is lost.
+        assert histogram.mean == 2.0
+
+    def test_window_bounds_samples_but_not_count(self):
+        histogram = Histogram("latency", window=16)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        # Percentiles only see the most recent 16 samples.
+        assert histogram.percentile(0.0) == 84.0
+        assert histogram.percentile(1.0) == 99.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_one_instance_under_contention(self):
+        registry = MetricsRegistry()
+        seen: list[Counter] = []
+
+        def worker(_index: int) -> None:
+            counter = registry.counter("shared")
+            seen.append(counter)
+            for _ in range(ITERATIONS):
+                counter.inc()
+
+        _hammer(worker)
+        assert len({id(counter) for counter in seen}) == 1
+        assert registry.counter("shared").value == THREADS * ITERATIONS
+
+    def test_concurrent_mixed_metric_creation(self):
+        registry = MetricsRegistry()
+
+        def worker(index: int) -> None:
+            for i in range(200):
+                registry.counter(f"c{i % 10}").inc()
+                registry.gauge(f"g{i % 10}").set(float(index))
+                registry.histogram(f"h{i % 10}").observe(1.0)
+
+        _hammer(worker)
+        snap = registry.snapshot()
+        assert len(snap["counters"]) == 10
+        assert len(snap["gauges"]) == 10
+        assert len(snap["histograms"]) == 10
+        assert sum(snap["counters"].values()) == THREADS * 200
+        assert sum(s["count"] for s in snap["histograms"].values()) == THREADS * 200
+
+
+class TestFiedlerWarmStartConcurrency:
+    def test_warm_cache_survives_concurrent_solves(self):
+        """Regression: concurrent solve() calls share the warm cache safely.
+
+        Hit/miss counters are incremented under ``_warm_lock``; if any
+        update were lost (or the OrderedDict corrupted), the exact
+        bookkeeping below would not balance.
+        """
+        solver = FiedlerSolver(warm_start=True, method="lanczos")
+        graphs = [path_graph(24), grid_graph(5, 5), two_cluster_graph(8, 8)]
+        rounds = 12
+
+        def worker(index: int):
+            results = []
+            for round_index in range(rounds):
+                graph = graphs[(index + round_index) % len(graphs)]
+                results.append(solver.solve(graph))
+            return results
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [pool.submit(worker, index) for index in range(THREADS)]
+            all_results = [future.result() for future in futures]
+
+        total_solves = THREADS * rounds
+        assert solver.warm_hits + solver.warm_misses == total_solves
+        # Three distinct structures; everything after the first encounters
+        # is a hit, so at most one miss per (structure, in-flight overlap).
+        assert solver.warm_hits > 0
+        assert len(solver._warm_cache) == len(graphs)
+        # The eigenvalue itself must stay correct under warm starts.
+        for results in all_results:
+            for result in results:
+                assert result.value >= 0.0
+                assert np.isfinite(result.vector).all()
+
+    def test_warm_start_results_match_cold_results(self):
+        graph = two_cluster_graph(10, 10)
+        cold = FiedlerSolver(method="lanczos").solve(graph)
+        warm_solver = FiedlerSolver(warm_start=True, method="lanczos")
+        warm_solver.solve(graph)
+        warm = warm_solver.solve(graph)  # second solve uses the cached vector
+        assert warm_solver.warm_hits == 1
+        assert warm.value == pytest.approx(cold.value, rel=1e-6)
+
+    def test_warm_cache_lru_eviction_bounded(self):
+        solver = FiedlerSolver(warm_start=True, method="lanczos", warm_cache_size=2)
+        for n in (8, 10, 12, 14):
+            solver.solve(path_graph(n))
+        assert len(solver._warm_cache) == 2
