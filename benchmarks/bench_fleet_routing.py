@@ -1,17 +1,28 @@
-"""Fleet admission throughput and balance per routing policy.
+"""Fleet admission throughput, balance, and rebalance economics.
 
 Not a paper artifact: pins the fleet layer's behaviour on the pooled-app
 workload.  Each round replays the same arrival trace through a *cold*
 fleet, so the measured time covers the cold plans plus per-server
-content-addressed cache hits, and the assertions pin the two properties
-the routing policies are for — fingerprint affinity preserves the
-single-server cache hit rate, and power-of-two-choices keeps the load
-spread near-flat (max/mean <= 1.5).
+content-addressed cache hits.  Three families of assertions:
+
+* routing — fingerprint affinity preserves the single-server cache hit
+  rate, and power-of-two-choices keeps the load spread near-flat
+  (max/mean <= 1.5);
+* heterogeneous pools — on skewed capacities, least-loaded routing on
+  *utilisation* beats least-loaded on raw user counts on both fleet-wide
+  ``E + T`` and utilisation spread;
+* rebalancing — cost-aware rebalance performs strictly fewer moves than
+  unconditional flattening and lands at equal-or-better net ``E + T``
+  once every move is charged its migration cost.
+
+Set ``REPRO_FLEET_TINY=1`` for the CI smoke sweep (smaller trace, same
+assertions).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
@@ -22,9 +33,13 @@ from repro.workloads.traces import replay_arrivals
 
 from conftest import bench_profile
 
-POOL_SIZE = 6
-REQUESTS = 48
+TINY = os.environ.get("REPRO_FLEET_TINY") == "1"
+POOL_SIZE = 4 if TINY else 6
+REQUESTS = 24 if TINY else 48
 SERVERS = 4
+
+HETERO_CAPACITIES = (250.0, 500.0, 1000.0)
+HETERO_REQUESTS = 18 if TINY else 36
 
 
 @pytest.fixture(scope="module")
@@ -68,3 +83,81 @@ def test_fleet_admission_per_policy(benchmark, arrival_trace, fleet_profile, pol
             f"affinity hit rate {stats.cache_hit_rate:.3f} more than 10% below "
             f"the single-server rate {single_rate:.3f}"
         )
+
+
+@pytest.fixture(scope="module")
+def hetero_profile():
+    return dataclasses.replace(
+        bench_profile(),
+        distinct_graphs=POOL_SIZE,
+        multiuser_graph_size=min(bench_profile().multiuser_graph_size, 40),
+        seed=2019,
+    )
+
+
+@pytest.fixture(scope="module")
+def hetero_trace(hetero_profile):
+    workload = build_mec_system(HETERO_REQUESTS, hetero_profile)
+    return replay_arrivals(workload, rate=200.0, seed=hetero_profile.seed)
+
+
+def _hetero_replay(trace, profile, balance_on):
+    fleet = EdgeFleet(
+        len(HETERO_CAPACITIES),
+        sum(HETERO_CAPACITIES) / len(HETERO_CAPACITIES),
+        capacities=HETERO_CAPACITIES,
+        routing=make_routing_policy("least-loaded", balance_on=balance_on),
+    )
+    for user_id, graph in trace:
+        fleet.admit(MobileDevice(user_id, profile=profile.device), graph)
+    return fleet.stats(), fleet.total_consumption()
+
+
+def test_fleet_heterogeneous_utilisation_routing(benchmark, hetero_trace, hetero_profile):
+    """On a 250/500/1000 pool, routing on utilisation beats user counts."""
+    util_stats, util_consumption = benchmark(
+        lambda: _hetero_replay(hetero_trace, hetero_profile, "utilisation")
+    )
+    users_stats, users_consumption = _hetero_replay(hetero_trace, hetero_profile, "users")
+    assert util_stats.users == users_stats.users == HETERO_REQUESTS
+    assert util_consumption.combined() <= users_consumption.combined(), (
+        f"utilisation routing E+T {util_consumption.combined():.3f} worse than "
+        f"user-count routing {users_consumption.combined():.3f}"
+    )
+    assert util_stats.utilisation_imbalance <= users_stats.utilisation_imbalance, (
+        f"utilisation spread {util_stats.utilisation_imbalance:.2f} worse than "
+        f"user-count routing's {users_stats.utilisation_imbalance:.2f}"
+    )
+
+
+def _rebalance_replay(trace, profile, cost_aware):
+    # Affinity routing concentrates each app's users on one server, so the
+    # replay ends skewed and the rebalance pass has real work to refuse.
+    capacity = profile.server_capacity_per_user * REQUESTS / SERVERS
+    fleet = EdgeFleet(
+        SERVERS, capacity, routing=make_routing_policy("affinity")
+    )
+    for user_id, graph in trace:
+        fleet.admit(MobileDevice(user_id, profile=profile.device), graph)
+    moves = fleet.rebalance(cost_aware=cost_aware)
+    return moves, fleet.stats(), fleet.total_consumption()
+
+
+def test_fleet_cost_aware_rebalance(benchmark, arrival_trace, fleet_profile):
+    """Cost-aware rebalance moves strictly less and nets equal-or-better E+T."""
+    aware_moves, aware_stats, aware_consumption = benchmark(
+        lambda: _rebalance_replay(arrival_trace, fleet_profile, True)
+    )
+    free_moves, free_stats, free_consumption = _rebalance_replay(
+        arrival_trace, fleet_profile, False
+    )
+    assert free_moves > 0, "affinity skew should leave the free pass work to do"
+    assert aware_moves < free_moves, (
+        f"cost-aware made {aware_moves} moves, free made {free_moves}"
+    )
+    assert aware_consumption.combined() <= free_consumption.combined(), (
+        f"cost-aware net E+T {aware_consumption.combined():.3f} worse than "
+        f"free rebalance's {free_consumption.combined():.3f} (which pays "
+        f"migration for every move)"
+    )
+    assert aware_stats.users == free_stats.users == REQUESTS

@@ -156,8 +156,40 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--graph-size", type=int, default=60, help="functions per app")
     fleet.add_argument("--servers", type=int, default=4, help="fleet size")
     fleet.add_argument(
+        "--capacities", nargs="*", type=float, default=None, metavar="CAP",
+        help="heterogeneous per-server capacities (e.g. 250 500 1000); "
+             "overrides --servers and the even capacity split",
+    )
+    fleet.add_argument(
         "--policies", nargs="*", default=None,
         help="routing policies to compare (default: all registered)",
+    )
+    fleet.add_argument(
+        "--balance-on", choices=["users", "utilisation"], default="users",
+        help="load metric for least-loaded/power-of-two "
+             "(utilisation = offloaded work / capacity; use on heterogeneous pools)",
+    )
+    fleet.add_argument(
+        "--latency", choices=["none", "geo"], default="none",
+        help="per-(user, server) RTT model fed to routing and accounting",
+    )
+    fleet.add_argument(
+        "--latency-weight", type=float, default=0.0,
+        help="how strongly load-aware policies weigh RTT against load",
+    )
+    fleet.add_argument(
+        "--rtt-scale", type=float, default=0.1,
+        help="geo model: RTT seconds per unit of distance on the unit square",
+    )
+    fleet.add_argument(
+        "--rebalance", choices=["off", "free", "cost-aware"], default="off",
+        help="post-replay rebalancing pass: 'free' flattens unconditionally, "
+             "'cost-aware' only moves when the modelled gain beats the "
+             "migration cost (both charge every move)",
+    )
+    fleet.add_argument(
+        "--handoff-latency", type=float, default=0.05,
+        help="migration cost model: control-plane delay charged per move",
     )
     fleet.add_argument(
         "--max-users-per-server", type=int, default=None,
@@ -527,6 +559,8 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.experiments.fleet import run_fleet_routing_experiment
+    from repro.fleet.latency import make_latency_map
+    from repro.fleet.migration import MigrationCostModel
     from repro.fleet.routing import ROUTING_POLICIES
 
     if args.smoke:
@@ -567,18 +601,35 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 max_users_per_server=args.max_users_per_server,
                 executor=executor,
+                capacities=args.capacities,
+                balance_on=args.balance_on,
+                latency=(
+                    make_latency_map(args.latency, seconds_per_unit=args.rtt_scale)
+                    if args.latency != "none"
+                    else None
+                ),
+                latency_weight=args.latency_weight,
+                migration=MigrationCostModel(handoff_latency=args.handoff_latency),
+                rebalance=args.rebalance,
             )
         elapsed[executor] = watch.elapsed
         combined_by_executor[executor] = [row.combined for row in comparison.rows]
     single = comparison.single
+    n_servers = len(args.capacities) if args.capacities else args.servers
+    pool_desc = (
+        f"{n_servers} servers (capacities "
+        + "/".join(f"{c:g}" for c in args.capacities) + ")"
+        if args.capacities
+        else f"{args.servers} servers"
+    )
     print(
         f"fleet-bench: {args.requests} requests over {args.pool} distinct apps "
-        f"({args.graph_size} functions), {args.servers} servers"
+        f"({args.graph_size} functions), {pool_desc}"
     )
     print(
         render_table(
-            ["policy", "servers", "users", "degraded", "max/mean", "hit rate",
-             "E", "T", "E+T", "vs single"],
+            ["policy", "servers", "users", "degraded", "max/mean", "util",
+             "hit rate", "moves", "E", "T", "E+T", "vs single"],
             [
                 [
                     row.policy,
@@ -586,7 +637,9 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
                     row.users,
                     row.degraded,
                     f"{row.imbalance:.2f}",
+                    f"{row.utilisation_imbalance:.2f}",
                     f"{row.hit_rate:.3f}",
+                    row.moves,
                     f"{row.energy:.2f}",
                     f"{row.time:.2f}",
                     f"{row.combined:.2f}",
@@ -600,6 +653,13 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
         f"single server (equal total capacity): E+T {single.combined:.2f}, "
         f"hit rate {single.hit_rate:.3f}"
     )
+    if args.rebalance != "off":
+        total_moves = sum(row.moves for row in comparison.rows)
+        total_charged = sum(row.migration_cost for row in comparison.rows)
+        print(
+            f"rebalance ({args.rebalance}): {total_moves} moves across policies, "
+            f"E+T {total_charged:.2f} charged as migration cost"
+        )
     if len(executors) > 1:
         thread_s, process_s = elapsed["thread"], elapsed["process"]
         speedup = thread_s / process_s if process_s > 0 else float("inf")

@@ -3,12 +3,22 @@
 Replays one arrival trace through an :class:`~repro.fleet.EdgeFleet`
 once per routing policy and once through a *single* server of equal
 total capacity, and reports what the fleet layer is supposed to deliver:
-load balance (max/mean admitted users), aggregate plan-cache hit rate,
-and fleet-wide ``E + T`` relative to the monolithic baseline.  The
-single-server row is the control: sharding cannot beat one big server
-under the paper's capacity-sharing model, so the interesting question
-is how little each policy gives up — and fingerprint-affinity routing
-should give up (nearly) nothing on cache hit rate.
+load balance (max/mean admitted users and max/mean utilisation),
+aggregate plan-cache hit rate, and fleet-wide ``E + T`` relative to the
+monolithic baseline.  The single-server row is the control: sharding
+cannot beat one big server under the paper's capacity-sharing model, so
+the interesting question is how little each policy gives up — and
+fingerprint-affinity routing should give up (nearly) nothing on cache
+hit rate.
+
+Beyond the homogeneous comparison, the experiment sweeps the fleet
+layer's geo/heterogeneity knobs: per-server *capacities* (routing on
+utilisation rather than raw user counts — the resource-aware allocation
+argument of arXiv:1604.02519), a *latency* map weighing proximity into
+routing and waiting-time accounting, and a post-replay *rebalance* pass
+(``"free"`` flattens unconditionally, ``"cost-aware"`` only moves when
+the modelled gain beats the migration price, after arXiv:1605.08023's
+state-movement costs; both charge every move into the fleet ledger).
 """
 
 from __future__ import annotations
@@ -18,12 +28,17 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.fleet.fleet import EdgeFleet
+from repro.fleet.latency import LatencyMap
+from repro.fleet.migration import MigrationCostModel
 from repro.fleet.routing import ROUTING_POLICIES, make_routing_policy
 from repro.mec.devices import MobileDevice
 from repro.service.executor import PlanningBackend
 from repro.workloads.multiuser import build_mec_system
 from repro.workloads.profiles import ExperimentProfile, quick_profile
 from repro.workloads.traces import replay_arrivals
+
+REBALANCE_MODES = ("off", "free", "cost-aware")
+"""Valid *rebalance* arguments for the experiment and the CLI."""
 
 
 @dataclass(frozen=True)
@@ -46,6 +61,16 @@ class FleetPolicyRow:
     vs_single: float
     """``combined / single-server combined`` (1.0 = no sharding cost)."""
 
+    utilisation_imbalance: float = 1.0
+    """max/mean server utilisation — the balance metric that matters on
+    heterogeneous pools."""
+
+    moves: int = 0
+    """Rebalance moves performed after the replay (0 when disabled)."""
+
+    migration_cost: float = 0.0
+    """Total ``E + T`` charged for those moves (and failover replays)."""
+
 
 @dataclass(frozen=True)
 class FleetRoutingComparison:
@@ -59,15 +84,13 @@ def _replay(
     fleet: EdgeFleet,
     arrivals: Sequence[tuple[str, object]],
     profile: ExperimentProfile,
-) -> tuple[float, float, float]:
+) -> None:
     # Batch admission is sequential-equivalent (same routing, caching and
     # planner state as an admit() loop); with a planning backend attached
     # to the fleet, the batch's distinct plans compute in parallel.
     fleet.admit_many(
         [(MobileDevice(user_id, profile=profile.device), graph) for user_id, graph in arrivals]
     )
-    consumption = fleet.total_consumption()
-    return consumption.energy, consumption.time, consumption.combined()
 
 
 def run_fleet_routing_experiment(
@@ -80,20 +103,42 @@ def run_fleet_routing_experiment(
     seed: int = 0,
     max_users_per_server: int | None = None,
     executor: str = "thread",
+    *,
+    capacities: Sequence[float] | None = None,
+    balance_on: str = "users",
+    latency: LatencyMap | None = None,
+    latency_weight: float = 0.0,
+    migration: MigrationCostModel | None = None,
+    rebalance: str = "off",
 ) -> FleetRoutingComparison:
     """Compare routing policies on one trace; include the 1-server control.
 
-    The fleet's total capacity always equals the single server's
-    (``profile.server_capacity_per_user * n_users``), split evenly over
-    *n_servers*, so the comparison isolates the *sharding* cost from any
-    provisioning difference.  *executor* selects where planning runs
-    (``"thread"`` inline or ``"process"`` on a multiprocessing pool);
-    planning is deterministic, so the rows are identical either way.
+    The fleet's total capacity always equals the single server's —
+    ``profile.server_capacity_per_user * n_users`` split evenly over
+    *n_servers*, or ``sum(capacities)`` for a heterogeneous pool — so
+    the comparison isolates the *sharding* cost from any provisioning
+    difference.  *balance_on* selects the load metric of the load-aware
+    policies (``"utilisation"`` is the heterogeneous-pool setting);
+    *latency*/*latency_weight* thread a geo RTT model through routing
+    and accounting; *rebalance* runs a post-replay rebalancing pass
+    (``"free"`` unconditional, ``"cost-aware"`` migration-priced).
+    *executor* selects where planning runs (``"thread"`` inline or
+    ``"process"`` on a multiprocessing pool); planning is deterministic,
+    so the rows are identical either way.
     """
+    if rebalance not in REBALANCE_MODES:
+        raise ValueError(
+            f"unknown rebalance mode {rebalance!r}; "
+            f"expected one of {list(REBALANCE_MODES)}"
+        )
     profile = profile or quick_profile()
     workload = build_mec_system(n_users, profile)
     arrivals = replay_arrivals(workload, rate=rate, seed=seed)
-    total_capacity = profile.server_capacity_per_user * n_users
+    if capacities is not None:
+        capacities = list(capacities)
+        total_capacity = sum(capacities)
+    else:
+        total_capacity = profile.server_capacity_per_user * n_users
 
     backend = (
         PlanningBackend(executor="process", strategy_name=strategy)
@@ -101,17 +146,32 @@ def run_fleet_routing_experiment(
         else None
     )
 
-    def run(policy_name: str, servers: int) -> FleetPolicyRow:
+    def run(policy_name: str, servers: int, server_capacities: Sequence[float] | None) -> FleetPolicyRow:
+        if server_capacities is not None:
+            servers = len(server_capacities)
         fleet = EdgeFleet(
             servers,
             total_capacity / servers,
+            capacities=server_capacities,
             strategy=strategy,
-            routing=make_routing_policy(policy_name, seed=seed),
+            routing=make_routing_policy(
+                policy_name,
+                seed=seed,
+                balance_on=balance_on,
+                latency_weight=latency_weight,
+            ),
             max_users_per_server=max_users_per_server,
             backend=backend,
+            latency=latency,
+            migration=migration,
         )
-        energy, time, combined = _replay(fleet, arrivals, profile)
+        _replay(fleet, arrivals, profile)
+        moves = 0
+        if rebalance != "off":
+            moves = fleet.rebalance(cost_aware=rebalance == "cost-aware")
+        consumption = fleet.total_consumption()
         stats = fleet.stats()
+        migration_hist = fleet.metrics.histogram("fleet_migration_cost")
         return FleetPolicyRow(
             policy=policy_name,
             servers=servers,
@@ -119,22 +179,25 @@ def run_fleet_routing_experiment(
             degraded=stats.degraded_users,
             imbalance=stats.imbalance,
             hit_rate=stats.cache_hit_rate,
-            energy=energy,
-            time=time,
-            combined=combined,
+            energy=consumption.energy,
+            time=consumption.time,
+            combined=consumption.combined(),
             vs_single=0.0,
+            utilisation_imbalance=stats.utilisation_imbalance,
+            moves=moves,
+            migration_cost=migration_hist.mean * migration_hist.count,
         )
 
     try:
         if backend is not None:
             backend.start()
-        single = run("round-robin", 1)
+        single = run("round-robin", 1, None)
         single = dataclasses.replace(single, policy="single", vs_single=1.0)
         rows = [
             dataclasses.replace(
                 row, vs_single=row.combined / single.combined if single.combined else 0.0
             )
-            for row in (run(name, n_servers) for name in policies)
+            for row in (run(name, n_servers, capacities) for name in policies)
         ]
     finally:
         if backend is not None:

@@ -2,20 +2,29 @@
 
 The paper's COPMECS model assumes one edge server ``S``; this package
 scales it horizontally while keeping every per-server result exactly
-the paper's model.  Three pieces:
+the paper's model.  Five pieces:
 
 * :mod:`repro.fleet.routing` — pluggable user→server policies:
   round-robin, least-loaded, power-of-two-choices, and
   fingerprint-affinity consistent hashing (structurally identical apps
-  land on the same server and hit its plan cache);
+  land on the same server and hit its plan cache); the load-aware
+  policies balance on user counts or on utilisation (for heterogeneous
+  capacities) and can weigh per-user RTT into the choice;
+* :mod:`repro.fleet.latency` — per-(user, server) RTT maps (zero,
+  static, geo-positional) threaded through routing snapshots and into
+  waiting-time accounting;
+* :mod:`repro.fleet.migration` — pricing of user moves between servers
+  (re-transmit offloaded input data at the link rate plus a handoff
+  latency); rebalancing is cost-aware and every move is charged;
 * :mod:`repro.fleet.fleet` — :class:`EdgeFleet`, holding one
   :class:`~repro.mec.online.OnlinePlanner` and
   :class:`~repro.service.plan_cache.PlanCache` per server, fleet-wide
-  :class:`~repro.mec.system.SystemConsumption` aggregation, and
-  rebalancing hooks;
+  :class:`~repro.mec.system.SystemConsumption` aggregation,
+  rebalancing, and degraded-user retry;
 * :mod:`repro.fleet.failover` — server-outage handling
   (:class:`~repro.simulation.faults.ServerOutage`): drain, re-admit on
-  survivors, degraded all-local fallback when no capacity remains.
+  survivors (charged as migrations), degraded all-local fallback when
+  no capacity remains, revival via :meth:`EdgeFleet.revive_server`.
 
 ``python -m repro fleet-bench`` replays an arrival trace over the fleet
 and compares routing policies on load balance, cache hit rate and
@@ -30,7 +39,17 @@ from repro.fleet.fleet import (
     FleetStats,
     all_local_breakdown,
 )
+from repro.fleet.latency import (
+    LATENCY_MODELS,
+    GeoLatencyMap,
+    LatencyMap,
+    StaticLatencyMap,
+    ZeroLatency,
+    make_latency_map,
+)
+from repro.fleet.migration import MigrationCost, MigrationCostModel
 from repro.fleet.routing import (
+    BALANCE_METRICS,
     ROUTING_POLICIES,
     FingerprintAffinityRouting,
     LeastLoadedRouting,
@@ -49,7 +68,16 @@ __all__ = [
     "FingerprintAffinityRouting",
     "ServerLoad",
     "ROUTING_POLICIES",
+    "BALANCE_METRICS",
     "make_routing_policy",
+    "LatencyMap",
+    "ZeroLatency",
+    "StaticLatencyMap",
+    "GeoLatencyMap",
+    "LATENCY_MODELS",
+    "make_latency_map",
+    "MigrationCost",
+    "MigrationCostModel",
     "EdgeFleet",
     "FleetServer",
     "FleetAdmission",

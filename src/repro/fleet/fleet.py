@@ -9,30 +9,39 @@ server ``S``.  :class:`EdgeFleet` scales that model horizontally: each
 :class:`~repro.fleet.routing.RoutingPolicy` decides which server admits
 each arriving user.  Per-server results therefore remain exactly the
 paper's COPMECS model; the fleet layer adds what the model cannot say:
-load balance across servers, cache locality under content-affine
-routing, rebalancing, and failover (see :mod:`repro.fleet.failover`).
+load balance across heterogeneous servers, cache locality under
+content-affine routing, geo-latency, cost-aware rebalancing, and
+failover (see :mod:`repro.fleet.failover`).
 
 Consumption aggregates across the fleet by merging per-user breakdowns:
 user ids are fleet-unique, so the union of every server's
 :class:`~repro.mec.system.SystemConsumption` *is* the fleet total, plus
 the all-local consumption of users admitted in degraded mode (no server
-had capacity for them).
+had capacity for them).  Two fleet-only charges are folded into the
+same ledger: each offloading user carries the RTT of the link they
+actually use (:mod:`repro.fleet.latency`), and users who were migrated
+between servers carry the accumulated migration cost
+(:mod:`repro.fleet.migration`) in their transmission/waiting terms —
+moves are never free.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from repro.callgraph.model import FunctionCallGraph
+from repro.fleet.latency import LatencyMap, ZeroLatency
+from repro.fleet.migration import MigrationCost, MigrationCostModel
 from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
 from repro.mec.admission import AllocationPolicy
 from repro.mec.devices import EdgeServer, MobileDevice
 from repro.mec.energy import ConsumptionBreakdown, local_compute_time, local_energy
 from repro.mec.online import AdmissionRecord, OnlinePlanner
-from repro.mec.system import SystemConsumption
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, SystemConsumption, UserContext
 from repro.service.fingerprint import request_fingerprint
 from repro.service.metrics import MetricsRegistry
 from repro.service.plan_cache import PlanCache
@@ -40,6 +49,7 @@ from repro.service.plan_cache import PlanCache
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.config import PlannerConfig
     from repro.core.results import CutStrategy, UserPlan
+    from repro.mec.objective import ObjectiveWeights
     from repro.service.executor import PlanningBackend
 
 
@@ -69,6 +79,15 @@ class _AdmittedUser:
     graph: FunctionCallGraph
     key: str
     plan: "UserPlan"
+
+
+@dataclass
+class _DegradedUser:
+    """A user running all-local, retained so it can be re-admitted later."""
+
+    device: MobileDevice
+    graph: FunctionCallGraph
+    breakdown: ConsumptionBreakdown
 
 
 @dataclass
@@ -118,13 +137,68 @@ class FleetServer:
             for user_id in state.apps
         )
 
-    def load(self) -> ServerLoad:
+    @property
+    def utilisation(self) -> float:
+        """remote_load / capacity (the heterogeneous balance metric)."""
+        return self.remote_load / self.server.total_capacity
+
+    def load(self, rtt: float = 0.0) -> ServerLoad:
         return ServerLoad(
             server_id=self.server_id,
             users=self.users,
             remote_load=self.remote_load,
             capacity=self.server.total_capacity,
+            rtt=rtt,
         )
+
+    def placement_of(self, user_id: str) -> tuple[PartitionedApplication, set[int]]:
+        """The user's partitioned app and currently-remote part ids."""
+        state = self.planner.state
+        return state.apps[user_id], state.remote_parts.get(user_id, set())
+
+    def offloaded_data(self, user_id: str) -> float:
+        """Data crossing the device/server boundary for *user_id*.
+
+        This is the placement's cut weight — the offloaded input data a
+        migration would have to re-transmit to a new server.
+        """
+        app, remote = self.placement_of(user_id)
+        return app.cut_weight(remote)
+
+    def modelled_combined(
+        self,
+        weights: "ObjectiveWeights",
+        *,
+        without: str | None = None,
+        extra: tuple[MobileDevice, FunctionCallGraph, PartitionedApplication, set[int]]
+        | None = None,
+    ) -> float:
+        """Hypothetical ``E + T`` of this server's deployment.
+
+        Evaluates the current placements with *without* removed and/or
+        *extra* (a user's device, graph, partitioned app and remote part
+        set, typically lifted from another server) added — no planner
+        mutation, no greedy replay.  This is the model behind cost-aware
+        rebalancing: the gain of a move is the drop in the two affected
+        servers' modelled totals.
+        """
+        state = self.planner.state
+        users = [u for u in state.users if u.user_id != without]
+        apps: dict[str, PartitionedApplication] = {
+            uid: app for uid, app in state.apps.items() if uid != without
+        }
+        remote_parts: dict[str, set[int]] = {
+            uid: parts for uid, parts in state.remote_parts.items() if uid != without
+        }
+        if extra is not None:
+            device, graph, app, remote = extra
+            users.append(UserContext(device, graph))
+            apps[device.device_id] = app
+            remote_parts[device.device_id] = remote
+        if not users:
+            return 0.0
+        system = MECSystem(self.server, users, allocation=self._allocation)
+        return system.evaluate_placement(apps, remote_parts).combined(weights)
 
     def admit(
         self,
@@ -200,6 +274,7 @@ class FleetStats:
     cache_hits: int
     cache_misses: int
     per_server_users: dict[str, int] = field(default_factory=dict)
+    per_server_utilisation: dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -217,19 +292,40 @@ class FleetStats:
         mean = sum(counts) / len(counts)
         return max(counts) / mean
 
+    @property
+    def utilisation_imbalance(self) -> float:
+        """max/mean server utilisation — the balance metric that matters
+        on heterogeneous pools, where equal user counts can still mean a
+        drastically overloaded small server (1.0 = perfect)."""
+        values = list(self.per_server_utilisation.values())
+        if not values or sum(values) == 0:
+            return 1.0
+        mean = sum(values) / len(values)
+        return max(values) / mean
+
 
 class EdgeFleet:
     """A pool of edge servers behind one admission front-end.
 
     Servers are homogeneous by default (``n_servers`` servers of
-    ``capacity_per_server`` each); pass *servers* for a heterogeneous
-    pool.  Every admission computes the request's content fingerprint,
-    asks the routing policy for a target, and admits on that server —
-    hitting its plan cache when a structurally identical app was seen
-    there before.  ``max_users_per_server`` bounds admission; when every
-    alive server is full (or the whole fleet is down), users are
+    ``capacity_per_server`` each); pass *capacities* (one total capacity
+    per server, e.g. ``[250, 500, 1000]``) or *servers* for a
+    heterogeneous pool.  Every admission computes the request's content
+    fingerprint, asks the routing policy for a target — each candidate's
+    :class:`~repro.fleet.routing.ServerLoad` carries its utilisation and
+    the requesting user's RTT from *latency* — and admits on that
+    server, hitting its plan cache when a structurally identical app was
+    seen there before.  ``max_users_per_server`` bounds admission; when
+    every alive server is full (or the whole fleet is down), users are
     admitted *degraded*: they run fully locally, which is always
-    feasible and keeps fleet totals finite.
+    feasible and keeps fleet totals finite.  Degraded users are retained
+    and re-admitted by :meth:`retry_degraded` once capacity frees.
+
+    *migration* prices every user move (rebalance and failover replays)
+    as re-transmission of the offloaded input data plus a handoff
+    latency; the charges accumulate per user and surface in
+    :meth:`total_consumption`.  Pass ``MigrationCostModel.free()`` to
+    restore the legacy moves-are-free accounting.
     """
 
     def __init__(
@@ -237,6 +333,7 @@ class EdgeFleet:
         n_servers: int = 4,
         capacity_per_server: float = 500.0,
         *,
+        capacities: Sequence[float] | None = None,
         servers: Mapping[str, EdgeServer] | None = None,
         strategy: str = "spectral",
         config: "PlannerConfig | None" = None,
@@ -246,16 +343,26 @@ class EdgeFleet:
         cache_capacity: int = 256,
         max_users_per_server: int | None = None,
         backend: "PlanningBackend | None" = None,
+        latency: LatencyMap | None = None,
+        migration: MigrationCostModel | None = None,
     ) -> None:
         from repro.core.baselines import make_planner
 
         if servers is None:
-            if n_servers < 1:
-                raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+            if capacities is not None:
+                per_server = list(capacities)
+                if not per_server:
+                    raise ValueError("capacities must name at least one server")
+            else:
+                if n_servers < 1:
+                    raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+                per_server = [capacity_per_server] * n_servers
             servers = {
-                f"edge-{index:02d}": EdgeServer(capacity_per_server)
-                for index in range(n_servers)
+                f"edge-{index:02d}": EdgeServer(capacity)
+                for index, capacity in enumerate(per_server)
             }
+        elif capacities is not None:
+            raise ValueError("pass either servers= or capacities=, not both")
         if not servers:
             raise ValueError("a fleet needs at least one server")
         if max_users_per_server is not None and max_users_per_server < 1:
@@ -271,6 +378,8 @@ class EdgeFleet:
         self.routing = routing or RoundRobinRouting()
         self.metrics = metrics or MetricsRegistry()
         self.max_users_per_server = max_users_per_server
+        self.latency = latency or ZeroLatency()
+        self.migration = migration or MigrationCostModel()
         self.servers: dict[str, FleetServer] = {
             server_id: FleetServer(
                 server_id,
@@ -284,7 +393,8 @@ class EdgeFleet:
         }
         self._dead: dict[str, FleetServer] = {}
         self._owner: dict[str, str] = {}
-        self._degraded: dict[str, ConsumptionBreakdown] = {}
+        self._degraded: dict[str, _DegradedUser] = {}
+        self._migration_debt: dict[str, ConsumptionBreakdown] = {}
 
     # ------------------------------------------------------------------
     # Admission
@@ -317,12 +427,20 @@ class EdgeFleet:
         started = time.perf_counter()
         eligible = self._eligible()
         if not eligible:
-            self._degraded[user_id] = all_local_breakdown(device, graph)
+            self._degraded[user_id] = _DegradedUser(
+                device, graph, all_local_breakdown(device, graph)
+            )
             self.metrics.counter("fleet_degraded").inc()
             return FleetAdmission(user_id, None, None, degraded=True)
 
         key = self.request_key(graph)
-        target = self.routing.route(key, [server.load() for server in eligible])
+        target = self.routing.route(
+            key,
+            [
+                server.load(rtt=self.latency.rtt(user_id, server.server_id))
+                for server in eligible
+            ],
+        )
         server = self.servers[target]
         record, cache_hit = server.admit(device, graph, key, fallback_plan=fallback_plan)
         self._owner[user_id] = target
@@ -378,6 +496,30 @@ class EdgeFleet:
             for device, graph in arrivals
         ]
 
+    def retry_degraded(self) -> list[FleetAdmission]:
+        """Re-admit degraded users through normal routing; return successes.
+
+        Degraded (all-local) users are queued, not abandoned: whenever
+        capacity frees — a rebalance opens a slot under the user cap, a
+        dead server is revived — this walks them in degradation order
+        and routes each through the standard admission path (policy,
+        caps and caches all apply).  Users the fleet still cannot take
+        stay degraded; nothing is ever lost either way.
+        """
+        if not self._degraded:
+            return []
+        readmitted: list[FleetAdmission] = []
+        for user_id in list(self._degraded):
+            if not self._eligible():
+                break
+            entry = self._degraded.pop(user_id)
+            admission = self._admit_one(entry.device, entry.graph, fallback_plan=None)
+            if admission.degraded:
+                continue  # pragma: no cover - eligibility checked above
+            readmitted.append(admission)
+            self.metrics.counter("fleet_degraded_recovered").inc()
+        return readmitted
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
@@ -386,11 +528,30 @@ class EdgeFleet:
 
         User ids are fleet-unique, so merging per-user breakdowns is
         exact; degraded users contribute their all-local consumption.
+        Two fleet-layer charges fold into the same ledger: offloading
+        users carry the RTT of the link to their server (added to the
+        waiting term and, per the formula-(2) invariant, to the
+        waiting-inclusive remote time), and migrated users carry their
+        accumulated migration debt in transmission/waiting terms.
         """
         combined = SystemConsumption()
-        for server in self.servers.values():
-            combined.per_user.update(server.current_consumption().per_user)
-        combined.per_user.update(self._degraded)
+        for server_id, server in self.servers.items():
+            for user_id, breakdown in server.current_consumption().per_user.items():
+                rtt = self.latency.rtt(user_id, server_id)
+                if rtt > 0 and (
+                    breakdown.remote_time > 0 or breakdown.transmission_time > 0
+                ):
+                    breakdown = replace(
+                        breakdown,
+                        remote_time=breakdown.remote_time + rtt,
+                        waiting_time=breakdown.waiting_time + rtt,
+                    )
+                combined.per_user[user_id] = breakdown
+        for user_id, degraded in self._degraded.items():
+            combined.per_user[user_id] = degraded.breakdown
+        for user_id, debt in self._migration_debt.items():
+            if user_id in combined.per_user:
+                combined.per_user[user_id] = combined.per_user[user_id] + debt
         return combined
 
     def load_stats(self) -> list[ServerLoad]:
@@ -411,39 +572,160 @@ class EdgeFleet:
             per_server_users={
                 server_id: server.users for server_id, server in sorted(self.servers.items())
             },
+            per_server_utilisation={
+                server_id: server.utilisation
+                for server_id, server in sorted(self.servers.items())
+            },
         )
 
     @property
     def degraded_users(self) -> dict[str, ConsumptionBreakdown]:
         """Users running all-local because no server had capacity."""
-        return dict(self._degraded)
+        return {
+            user_id: entry.breakdown for user_id, entry in self._degraded.items()
+        }
+
+    @property
+    def migration_debt(self) -> dict[str, ConsumptionBreakdown]:
+        """Accumulated per-user migration charges (moves are never free)."""
+        return dict(self._migration_debt)
 
     # ------------------------------------------------------------------
     # Rebalancing and failover hooks
     # ------------------------------------------------------------------
-    def rebalance(self, max_moves: int | None = None, tolerance: int = 1) -> int:
+    def charge_migration(self, user_id: str) -> MigrationCost:
+        """Charge *user_id* for having been moved to its current server.
+
+        Prices re-transmitting the offloaded input data of the user's
+        current placement at their link rate, plus the model's handoff
+        latency, and records the charge in the user's migration debt;
+        :meth:`total_consumption` folds the debt into the fleet ledger.
+        """
+        server = self.servers[self._owner[user_id]]
+        entry = server.admitted[user_id]
+        cost = self.migration.cost(entry.device, server.offloaded_data(user_id))
+        debt = self._migration_debt.get(user_id)
+        breakdown = cost.as_breakdown()
+        self._migration_debt[user_id] = (
+            breakdown if debt is None else debt + breakdown
+        )
+        self.metrics.counter("fleet_migrations").inc()
+        self.metrics.histogram("fleet_migration_cost").observe(
+            cost.combined(self.config.objective)
+        )
+        return cost
+
+    def _move_gain(self, src: FleetServer, dst: FleetServer, user_id: str) -> float:
+        """Modelled ``E + T`` drop from moving *user_id* from src to dst.
+
+        Evaluates both servers' deployments with the user's current
+        placement lifted from *src* onto *dst* (no replanning, no
+        mutation) and adds the RTT delta for offloading users — moving
+        toward a nearer server is itself a gain under a geo latency map.
+        """
+        weights = self.config.objective
+        entry = src.admitted[user_id]
+        app, remote = src.placement_of(user_id)
+        before = src.modelled_combined(weights) + dst.modelled_combined(weights)
+        after = src.modelled_combined(weights, without=user_id) + dst.modelled_combined(
+            weights, extra=(entry.device, entry.graph, app, remote)
+        )
+        gain = before - after
+        if app.remote_weight(remote) > 0 or app.cut_weight(remote) > 0:
+            rtt_delta = self.latency.rtt(user_id, src.server_id) - self.latency.rtt(
+                user_id, dst.server_id
+            )
+            gain += weights.combine(0.0, rtt_delta)
+        return gain
+
+    def _next_rebalance_move(
+        self, tolerance: int, cost_aware: bool
+    ) -> tuple[FleetServer, FleetServer, str] | None:
+        """Pick the next (src, dst, user) move, or ``None`` to stop.
+
+        The destination is the idlest *capped-eligible* server — a
+        rebalance must respect ``max_users_per_server`` exactly as
+        admission does, never overfilling a target past the cap.  A
+        move is only proposed while it strictly reduces the user-count
+        spread (a spread of 1 cannot improve; moving would just swap
+        which server is busiest, looping forever at ``tolerance=0``).
+        Cost-aware mode additionally requires the best candidate's
+        modelled gain to exceed its migration cost.
+        """
+        ranked = sorted(self.servers.values(), key=lambda s: (s.users, s.server_id))
+        busiest = ranked[-1]
+        targets = [server for server in self._eligible() if server is not busiest]
+        if not targets:
+            return None
+        idlest = min(targets, key=lambda s: (s.users, s.server_id))
+        spread = busiest.users - idlest.users
+        if spread <= tolerance or spread <= 1:
+            return None
+        if not cost_aware:
+            return busiest, idlest, next(reversed(busiest.admitted))
+
+        weights = self.config.objective
+        best_user: str | None = None
+        best_net = 0.0
+        for user_id in reversed(list(busiest.admitted)):
+            entry = busiest.admitted[user_id]
+            cost = self.migration.cost(
+                entry.device, busiest.offloaded_data(user_id)
+            ).combined(weights)
+            net = self._move_gain(busiest, idlest, user_id) - cost
+            if best_user is None or net > best_net:
+                best_user, best_net = user_id, net
+        if best_user is None or best_net <= 0.0:
+            return None
+        return busiest, idlest, best_user
+
+    def rebalance(
+        self,
+        max_moves: int | None = None,
+        tolerance: int = 1,
+        *,
+        cost_aware: bool = True,
+    ) -> int:
         """Move users from the busiest to the idlest server; return moves.
 
-        Each move evicts the busiest server's most recent admission and
-        replays it (with its recorded plan — no replanning) on the
-        idlest server, until the user-count spread is within *tolerance*
-        or *max_moves* is reached.  This is the hook a supervisor calls
-        after failover or a burst of affinity-skewed arrivals.
+        Each move evicts one of the busiest server's users and replays
+        it (with its recorded plan — no replanning) on the idlest
+        *eligible* server (``max_users_per_server`` is enforced on move
+        targets exactly as on admission), until the user-count spread is
+        within *tolerance*, no move can improve it, or *max_moves* is
+        reached.  This is the hook a supervisor calls after failover or
+        a burst of affinity-skewed arrivals.
+
+        Moves are not free: each one is charged through the fleet's
+        :class:`~repro.fleet.migration.MigrationCostModel` (re-transmit
+        the offloaded input data, pay the handoff latency) and the
+        charge lands in the moved user's ledger.  With *cost_aware*
+        (the default) a move only happens when its modelled imbalance
+        gain exceeds that cost — the candidate moved is the busiest
+        server's best net-gain user, not blindly its most recent
+        admission; pass ``cost_aware=False`` for the unconditional
+        spread-flattening rebalancer (still charged, never gated).
+        Afterwards, any freed capacity is offered to degraded users via
+        :meth:`retry_degraded`.
         """
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance}")
         moves = 0
         while max_moves is None or moves < max_moves:
-            ranked = sorted(self.servers.values(), key=lambda s: (s.users, s.server_id))
-            idlest, busiest = ranked[0], ranked[-1]
-            if busiest.users - idlest.users <= tolerance:
+            move = self._next_rebalance_move(tolerance, cost_aware)
+            if move is None:
                 break
-            user_id = next(reversed(busiest.admitted))
+            busiest, idlest, user_id = move
             entry = busiest.evict(user_id)
             idlest.admit(entry.device, entry.graph, entry.key, plan=entry.plan)
             self._owner[user_id] = idlest.server_id
+            self.charge_migration(user_id)
+            self.metrics.gauge(f"fleet_users_{busiest.server_id}").set(busiest.users)
+            self.metrics.gauge(f"fleet_users_{idlest.server_id}").set(idlest.users)
             self.metrics.counter("fleet_rebalanced").inc()
             moves += 1
+        if self._degraded:
+            self.retry_degraded()
         return moves
 
     def kill_server(self, server_id: str) -> list[tuple[MobileDevice, FunctionCallGraph]]:
@@ -465,3 +747,20 @@ class EdgeFleet:
         self.metrics.counter("fleet_server_outages").inc()
         self.metrics.gauge(f"fleet_users_{server_id}").set(0)
         return [(entry.device, entry.graph) for entry in drained]
+
+    def revive_server(self, server_id: str) -> list[FleetAdmission]:
+        """Return a previously-killed server to the pool (recovery hook).
+
+        The server rejoins empty (its users were drained at the outage)
+        but keeps its plan cache — the recovered machine's content-
+        addressed plans are still valid, planning being deterministic.
+        Freed capacity is immediately offered to degraded users through
+        :meth:`retry_degraded`; the re-admissions are returned.
+        """
+        server = self._dead.pop(server_id, None)
+        if server is None:
+            raise KeyError(f"server {server_id!r} is not dead")
+        self.servers[server_id] = server
+        self.metrics.counter("fleet_server_revivals").inc()
+        self.metrics.gauge(f"fleet_users_{server_id}").set(server.users)
+        return self.retry_degraded()

@@ -1,0 +1,158 @@
+"""Per-(user, server) network latency for geo-aware fleet routing.
+
+The paper's model has one edge server, so proximity never appears: every
+user talks to ``S`` over the same link.  A fleet spreads servers across
+sites, and the round-trip time between a user and a *candidate* server
+becomes a placement signal in its own right — a plan cached on a far
+server may cost more in propagation delay than replanning nearby (the
+placement trade-off of arXiv:1605.08023's edge-placement model).
+
+A :class:`LatencyMap` answers one question: *what is the RTT between
+this user and this server?*  The fleet threads the answer through
+:class:`~repro.fleet.routing.ServerLoad` snapshots (so routing policies
+can fold proximity into their choice) and into waiting-time accounting
+(an offloading user's remote and waiting time both carry the RTT of the
+link they actually use; see :meth:`repro.fleet.fleet.EdgeFleet.total_consumption`).
+
+Three implementations:
+
+* :class:`ZeroLatency` — the single-site default; RTT is identically
+  zero and the fleet behaves exactly as before this module existed.
+* :class:`StaticLatencyMap` — explicit per-pair and per-server RTTs,
+  for tests and measured topologies.
+* :class:`GeoLatencyMap` — ids are placed on the unit square (explicit
+  positions, or a deterministic content hash of the id for everything
+  else) and RTT grows linearly with Euclidean distance.  Hash placement
+  keeps the map dependency-free and reproducible without any RNG state.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import math
+from collections.abc import Mapping
+
+
+class LatencyMap(abc.ABC):
+    """Pluggable per-(user, server) round-trip-time oracle."""
+
+    @abc.abstractmethod
+    def rtt(self, user_id: str, server_id: str) -> float:
+        """Round-trip time (seconds) between *user_id* and *server_id*."""
+
+
+class ZeroLatency(LatencyMap):
+    """Every link is free: the single-site (pre-geo) fleet behaviour."""
+
+    def rtt(self, user_id: str, server_id: str) -> float:
+        return 0.0
+
+
+class StaticLatencyMap(LatencyMap):
+    """Explicit RTTs: per (user, server) pair, per server, then a default.
+
+    Lookup order is most-specific-first: an exact ``(user_id, server_id)``
+    entry wins, then the server's base RTT, then *default*.
+
+    >>> lat = StaticLatencyMap({("u1", "edge-00"): 0.2}, {"edge-01": 0.05})
+    >>> lat.rtt("u1", "edge-00"), lat.rtt("u2", "edge-01"), lat.rtt("u2", "x")
+    (0.2, 0.05, 0.0)
+    """
+
+    def __init__(
+        self,
+        pairs: Mapping[tuple[str, str], float] | None = None,
+        server_rtt: Mapping[str, float] | None = None,
+        default: float = 0.0,
+    ) -> None:
+        if default < 0:
+            raise ValueError(f"default RTT must be >= 0, got {default}")
+        self._pairs = dict(pairs or {})
+        self._server_rtt = dict(server_rtt or {})
+        self._default = default
+        for key, value in {**self._server_rtt, **{k[1]: v for k, v in self._pairs.items()}}.items():
+            if value < 0:
+                raise ValueError(f"RTT for {key!r} must be >= 0, got {value}")
+
+    def rtt(self, user_id: str, server_id: str) -> float:
+        pair = self._pairs.get((user_id, server_id))
+        if pair is not None:
+            return pair
+        return self._server_rtt.get(server_id, self._default)
+
+
+def _hash_position(node_id: str) -> tuple[float, float]:
+    """Deterministic position on the unit square from the id's content.
+
+    Uses sha256 (not ``hash()``, which is salted per process), so the
+    placement is stable across runs and machines — the same determinism
+    contract as the fingerprint ring in
+    :class:`~repro.fleet.routing.FingerprintAffinityRouting`.
+    """
+    digest = hashlib.sha256(node_id.encode("utf-8")).digest()
+    x = int.from_bytes(digest[:8], "big") / 2**64
+    y = int.from_bytes(digest[8:16], "big") / 2**64
+    return (x, y)
+
+
+class GeoLatencyMap(LatencyMap):
+    """RTT proportional to Euclidean distance on the unit square.
+
+    ``rtt = base_rtt + seconds_per_unit * distance(user, server)``; the
+    distance is between the two ids' positions, taken from *positions*
+    when given and otherwise derived deterministically from the id via a
+    content hash (so arbitrary trace user ids spread over the square
+    without any configuration or RNG).  *seconds_per_unit* is the
+    round-trip propagation cost of crossing the whole square once.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[str, tuple[float, float]] | None = None,
+        *,
+        base_rtt: float = 0.0,
+        seconds_per_unit: float = 0.1,
+    ) -> None:
+        if base_rtt < 0:
+            raise ValueError(f"base_rtt must be >= 0, got {base_rtt}")
+        if seconds_per_unit < 0:
+            raise ValueError(
+                f"seconds_per_unit must be >= 0, got {seconds_per_unit}"
+            )
+        self._positions = dict(positions or {})
+        self.base_rtt = base_rtt
+        self.seconds_per_unit = seconds_per_unit
+
+    def position(self, node_id: str) -> tuple[float, float]:
+        """The id's position: explicit if configured, hash-derived otherwise."""
+        explicit = self._positions.get(node_id)
+        if explicit is not None:
+            return explicit
+        return _hash_position(node_id)
+
+    def rtt(self, user_id: str, server_id: str) -> float:
+        ux, uy = self.position(user_id)
+        sx, sy = self.position(server_id)
+        return self.base_rtt + self.seconds_per_unit * math.hypot(ux - sx, uy - sy)
+
+
+LATENCY_MODELS = ("none", "geo")
+"""Registered latency-model names, for CLIs and experiment sweeps."""
+
+
+def make_latency_map(
+    name: str, *, base_rtt: float = 0.0, seconds_per_unit: float = 0.1
+) -> LatencyMap:
+    """Build a latency map by registered name.
+
+    >>> make_latency_map("none").rtt("u", "s")
+    0.0
+    """
+    if name == "none":
+        return ZeroLatency()
+    if name == "geo":
+        return GeoLatencyMap(base_rtt=base_rtt, seconds_per_unit=seconds_per_unit)
+    raise ValueError(
+        f"unknown latency model {name!r}; expected one of {list(LATENCY_MODELS)}"
+    )

@@ -19,8 +19,17 @@ disciplines are provided:
   server and hit its plan cache; server removal only remaps the keys
   that lived on the removed server.
 
+The load-aware policies balance on a selectable metric
+(``balance_on="users"`` counts admitted users; ``"utilisation"`` ranks
+by offloaded work over server capacity, which is what heterogeneous
+pools need — a 250-capacity shard with 5 users is *more* loaded than a
+1000-capacity shard with 8) and can fold each candidate's
+:attr:`ServerLoad.rtt` into the choice via *latency_weight*, trading
+queue length against proximity.  Affinity accepts a *latency_slack*
+that relaxes strict ring ownership toward nearby servers.
+
 Policies are deliberately *stateless about users* — the fleet owns
-admission — but may keep routing state (the round-robin cursor, the
+admission — but may keep routing state (the round-robin position, the
 hash ring, the sampling RNG), all deterministic from the constructor
 arguments.
 """
@@ -30,10 +39,13 @@ from __future__ import annotations
 import abc
 import bisect
 import hashlib
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.utils.rng import RandomSource
+
+BALANCE_METRICS = ("users", "utilisation")
+"""Valid ``balance_on`` values for the load-aware policies."""
 
 
 @dataclass(frozen=True)
@@ -50,12 +62,46 @@ class ServerLoad:
     capacity: float = 0.0
     """The server's total capacity (for utilisation-aware policies)."""
 
+    rtt: float = 0.0
+    """Round-trip time between the *requesting user* and this server.
+
+    Filled per-request by the fleet from its
+    :class:`~repro.fleet.latency.LatencyMap`; zero under the default
+    single-site model.
+    """
+
     @property
     def utilisation(self) -> float:
         """remote_load / capacity; 0.0 for an unprovisioned server."""
         if self.capacity <= 0:
             return 0.0
         return self.remote_load / self.capacity
+
+
+def _check_balance_on(balance_on: str) -> str:
+    if balance_on not in BALANCE_METRICS:
+        raise ValueError(
+            f"unknown balance metric {balance_on!r}; "
+            f"expected one of {list(BALANCE_METRICS)}"
+        )
+    return balance_on
+
+
+def _load_key(
+    load: ServerLoad, balance_on: str, latency_weight: float
+) -> tuple[float, float, float, str]:
+    """Total order for "less loaded": metric (+ weighted RTT), then ties.
+
+    With ``balance_on="users"`` and ``latency_weight=0`` this reduces to
+    the classic ``(users, remote_load, server_id)`` JSQ key; utilisation
+    mode ranks by offloaded-work share first so heterogeneous capacities
+    are respected, falling back to user counts on utilisation ties (an
+    empty fleet has utilisation 0 everywhere).
+    """
+    penalty = latency_weight * load.rtt
+    if balance_on == "utilisation":
+        return (load.utilisation + penalty, float(load.users), load.remote_load, load.server_id)
+    return (float(load.users) + penalty, load.remote_load, 0.0, load.server_id)
 
 
 class RoutingPolicy(abc.ABC):
@@ -77,27 +123,60 @@ class RoutingPolicy(abc.ABC):
 
 
 class RoundRobinRouting(RoutingPolicy):
-    """Cycle through the eligible servers in sorted-id order."""
+    """Cycle through the eligible servers in sorted-id order.
+
+    The cursor tracks the *last-served server id*, not a raw counter:
+    each route picks the smallest eligible id strictly greater than the
+    last one (wrapping around), so every pass visits every eligible
+    server exactly once even while the eligible set grows and shrinks.
+    A counter taken modulo a changing set size skips or double-hits
+    servers whenever eligibility changes between calls.
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        self._last: str | None = None
 
     def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
         ordered = sorted(server.server_id for server in servers)
-        choice = ordered[self._cursor % len(ordered)]
-        self._cursor += 1
+        if self._last is None:
+            choice = ordered[0]
+        else:
+            index = bisect.bisect_right(ordered, self._last)
+            choice = ordered[index % len(ordered)]
+        self._last = choice
         return choice
+
+    def forget(self, server_id: str) -> None:
+        # The cursor is an id watermark, not an index: a dead server's id
+        # still orders correctly against the survivors, so nothing to do.
+        pass
 
 
 class LeastLoadedRouting(RoutingPolicy):
-    """Join the shortest queue: fewest users, ties by remote load then id."""
+    """Join the shortest queue on the configured balance metric.
+
+    ``balance_on="users"`` (default) is the classic fewest-users JSQ
+    with ties by remote load then id; ``"utilisation"`` joins the server
+    with the lowest offloaded-work/capacity ratio, which balances
+    *work* rather than *headcount* across heterogeneous capacities.  A
+    positive *latency_weight* adds ``weight * rtt`` to each candidate's
+    metric, steering users toward nearby servers when queues are close.
+    """
 
     name = "least-loaded"
 
+    def __init__(
+        self, balance_on: str = "users", latency_weight: float = 0.0
+    ) -> None:
+        self.balance_on = _check_balance_on(balance_on)
+        self.latency_weight = latency_weight
+
     def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
-        best = min(servers, key=lambda s: (s.users, s.remote_load, s.server_id))
+        best = min(
+            servers, key=lambda s: _load_key(s, self.balance_on, self.latency_weight)
+        )
         return best.server_id
 
 
@@ -108,20 +187,29 @@ class PowerOfTwoRouting(RoutingPolicy):
     maximum load from ``Θ(log n / log log n)`` to ``Θ(log log n)``
     relative to one random choice, while touching only two servers'
     state per decision.  The sampling stream is deterministic from
-    *seed*, so traces replay identically.
+    *seed*, so traces replay identically.  The pairwise comparison uses
+    the same *balance_on* / *latency_weight* key as
+    :class:`LeastLoadedRouting`.
     """
 
     name = "power-of-two"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, balance_on: str = "users", latency_weight: float = 0.0
+    ) -> None:
         self._rng = RandomSource(seed).spawn("power-of-two")
+        self.balance_on = _check_balance_on(balance_on)
+        self.latency_weight = latency_weight
 
     def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
         ordered = sorted(servers, key=lambda s: s.server_id)
         if len(ordered) == 1:
             return ordered[0].server_id
         first, second = self._rng.sample(ordered, 2)
-        best = min((first, second), key=lambda s: (s.users, s.remote_load, s.server_id))
+        best = min(
+            (first, second),
+            key=lambda s: _load_key(s, self.balance_on, self.latency_weight),
+        )
         return best.server_id
 
 
@@ -135,19 +223,29 @@ class FingerprintAffinityRouting(RoutingPolicy):
 
     Requests are routed by hashing their content fingerprint (the same
     key :class:`~repro.service.plan_cache.PlanCache` uses) onto a ring
-    of virtual nodes, so structurally identical apps always land on the
-    same server and hit its plan cache — the fleet-wide hit rate matches
-    a single shared cache, without sharing anything.  ``replicas``
+    of virtual nodes, so structurally identical apps land on the same
+    server and hit its plan cache — the fleet-wide hit rate matches a
+    single shared cache, without sharing anything.  ``replicas``
     virtual nodes per server smooth the key distribution; removing a
     server (failover) remaps only the keys that lived on it.
+
+    *latency_slack* trades that cache locality against proximity: when
+    set, candidates are considered in ring order (the affinity
+    preference) and the first whose RTT is within *latency_slack* of
+    the nearest server wins.  ``None`` (default) is strict ring
+    ownership; ``0.0`` always picks the nearest server, breaking ties
+    by ring order.
     """
 
     name = "affinity"
 
-    def __init__(self, replicas: int = 64) -> None:
+    def __init__(self, replicas: int = 64, latency_slack: float | None = None) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if latency_slack is not None and latency_slack < 0:
+            raise ValueError(f"latency_slack must be >= 0, got {latency_slack}")
         self.replicas = replicas
+        self.latency_slack = latency_slack
         self._ring: list[tuple[int, str]] = []
         self._members: frozenset[str] = frozenset()
 
@@ -161,38 +259,69 @@ class FingerprintAffinityRouting(RoutingPolicy):
         self._ring = ring
         self._members = server_ids
 
+    def _ring_order(self, index: int) -> list[str]:
+        """Distinct server ids in clockwise ring order from *index*."""
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            server_id = self._ring[(index + offset) % len(self._ring)][1]
+            if server_id not in seen:
+                seen.add(server_id)
+                order.append(server_id)
+        return order
+
     def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
         members = frozenset(server.server_id for server in servers)
         if members != self._members:
             self._rebuild(members)
         positions = [position for position, _ in self._ring]
         index = bisect.bisect_right(positions, _ring_hash(key)) % len(self._ring)
-        return self._ring[index][1]
+        if self.latency_slack is None:
+            return self._ring[index][1]
+        rtts = {server.server_id: server.rtt for server in servers}
+        nearest = min(rtts.values())
+        for server_id in self._ring_order(index):
+            if rtts[server_id] <= nearest + self.latency_slack:
+                return server_id
+        return self._ring[index][1]  # pragma: no cover - nearest always qualifies
 
     def forget(self, server_id: str) -> None:
         if server_id in self._members:
             self._rebuild(self._members - {server_id})
 
 
-_POLICY_BUILDERS: dict[str, Callable[[int], RoutingPolicy]] = {
-    "round-robin": lambda seed: RoundRobinRouting(),
-    "least-loaded": lambda seed: LeastLoadedRouting(),
-    "power-of-two": lambda seed: PowerOfTwoRouting(seed),
-    "affinity": lambda seed: FingerprintAffinityRouting(),
-}
-
-ROUTING_POLICIES = tuple(sorted(_POLICY_BUILDERS))
+ROUTING_POLICIES = ("affinity", "least-loaded", "power-of-two", "round-robin")
 """Registered policy names, for CLIs and experiment sweeps."""
 
 
-def make_routing_policy(name: str, seed: int = 0) -> RoutingPolicy:
+def make_routing_policy(
+    name: str,
+    seed: int = 0,
+    *,
+    balance_on: str = "users",
+    latency_weight: float = 0.0,
+    latency_slack: float | None = None,
+) -> RoutingPolicy:
     """Build a routing policy by registered name.
+
+    *balance_on* and *latency_weight* configure the load-aware policies
+    (least-loaded, power-of-two); *latency_slack* configures affinity's
+    proximity trade-off.  Options irrelevant to the chosen policy are
+    ignored, so sweeps can pass one option set to every name.
 
     >>> make_routing_policy("affinity").name
     'affinity'
     """
-    if name not in _POLICY_BUILDERS:
-        raise ValueError(
-            f"unknown routing policy {name!r}; expected one of {list(ROUTING_POLICIES)}"
+    if name == "round-robin":
+        return RoundRobinRouting()
+    if name == "least-loaded":
+        return LeastLoadedRouting(balance_on=balance_on, latency_weight=latency_weight)
+    if name == "power-of-two":
+        return PowerOfTwoRouting(
+            seed, balance_on=balance_on, latency_weight=latency_weight
         )
-    return _POLICY_BUILDERS[name](seed)
+    if name == "affinity":
+        return FingerprintAffinityRouting(latency_slack=latency_slack)
+    raise ValueError(
+        f"unknown routing policy {name!r}; expected one of {list(ROUTING_POLICIES)}"
+    )

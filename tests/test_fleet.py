@@ -116,6 +116,67 @@ class TestRoutingPolicies:
             else:
                 assert after[key] != "a"
 
+    def test_round_robin_handles_eligibility_churn(self):
+        """Regression: a raw counter modulo the set size skips servers.
+
+        The cursor is a server-id watermark, so when the eligible set
+        shrinks between calls the cycle continues from the last-served
+        id instead of jumping by stale index.
+        """
+        policy = RoundRobinRouting()
+        assert policy.route("k0", loads({"a": 0, "b": 0, "c": 0})) == "a"
+        # "b" is next even though the set shrank; index 1 % 2 picked "c".
+        assert policy.route("k1", loads({"b": 0, "c": 0})) == "b"
+        # Growing the set back resumes the cycle where it left off.
+        assert policy.route("k2", loads({"a": 0, "b": 0, "c": 0})) == "c"
+        assert policy.route("k3", loads({"a": 0, "b": 0, "c": 0})) == "a"
+        # The watermark survives its own server's death mid-cycle.
+        policy.forget("a")
+        assert policy.route("k4", loads({"b": 0, "c": 0})) == "b"
+
+    def test_least_loaded_utilisation_mode_respects_capacity(self):
+        view = [
+            ServerLoad("small", 2, remote_load=50.0, capacity=100.0),
+            ServerLoad("big", 4, remote_load=100.0, capacity=1000.0),
+        ]
+        # Headcount says "small" (2 < 4); utilisation says "big" (.1 < .5).
+        assert LeastLoadedRouting().route("k", view) == "small"
+        assert LeastLoadedRouting(balance_on="utilisation").route("k", view) == "big"
+
+    def test_balance_metric_is_validated(self):
+        with pytest.raises(ValueError, match="unknown balance metric"):
+            LeastLoadedRouting(balance_on="entropy")
+        with pytest.raises(ValueError, match="unknown balance metric"):
+            PowerOfTwoRouting(balance_on="entropy")
+
+    def test_latency_weight_steers_toward_nearby_servers(self):
+        view = [
+            ServerLoad("far", 1, rtt=0.5),
+            ServerLoad("near", 2, rtt=0.0),
+        ]
+        assert LeastLoadedRouting().route("k", view) == "far"
+        assert LeastLoadedRouting(latency_weight=4.0).route("k", view) == "near"
+
+    def test_affinity_latency_slack_trades_locality_for_proximity(self):
+        strict = FingerprintAffinityRouting()
+        view = loads({"a": 0, "b": 0, "c": 0})
+        key = "fingerprint-x"
+        owner = strict.route(key, view)
+        far_view = [
+            ServerLoad(s.server_id, 0, rtt=9.0 if s.server_id == owner else 0.0)
+            for s in view
+        ]
+        rtts = {s.server_id: s.rtt for s in far_view}
+        # Strict ring ownership ignores RTT entirely.
+        assert strict.route(key, far_view) == owner
+        # Zero slack always takes a nearest server (ring order tiebreak).
+        nearest = FingerprintAffinityRouting(latency_slack=0.0).route(key, far_view)
+        assert nearest != owner
+        assert rtts[nearest] == 0.0
+        # Generous slack restores cache locality.
+        loose = FingerprintAffinityRouting(latency_slack=10.0)
+        assert loose.route(key, far_view) == owner
+
     def test_registry_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown routing policy"):
             make_routing_policy("random-walk")
@@ -184,13 +245,106 @@ class TestFleetAdmission:
             )
         assert fleet.stats().imbalance == pytest.approx(3.0)
         before = fleet.total_consumption()
-        moves = fleet.rebalance()
+        moves = fleet.rebalance(cost_aware=False)
         stats = fleet.stats()
         assert moves == 4
         assert stats.imbalance == pytest.approx(1.0)
         assert stats.users == 6
         after = fleet.total_consumption()
         assert set(after.per_user) == set(before.per_user)
+
+
+def skewed_fleet(fleet_profile, servers=3, users=6, **kwargs):
+    """Affinity-pinned fleet: every user runs the same hot app, so the
+    whole trace lands on one server and rebalance has real work to do."""
+    fleet = make_fleet(
+        fleet_profile, FingerprintAffinityRouting(), servers=servers, users=users,
+        **kwargs,
+    )
+    app = synthesize_application("hot", n_functions=20, seed=2)
+    for i in range(users):
+        fleet.admit(
+            MobileDevice(f"u{i}", profile=fleet_profile.device),
+            call_graph_from_dict(call_graph_to_dict(app)),
+        )
+    return fleet
+
+
+class TestHeterogeneousFleet:
+    def test_capacities_build_a_skewed_pool(self):
+        fleet = EdgeFleet(capacities=[250.0, 500.0, 1000.0])
+        caps = [
+            server.server.total_capacity
+            for _, server in sorted(fleet.servers.items())
+        ]
+        assert caps == [250.0, 500.0, 1000.0]
+
+    def test_capacities_conflicts_with_explicit_servers(self):
+        from repro.mec.devices import EdgeServer
+
+        with pytest.raises(ValueError, match="not both"):
+            EdgeFleet(servers={"s": EdgeServer(100.0)}, capacities=[1.0])
+        with pytest.raises(ValueError, match="at least one server"):
+            EdgeFleet(capacities=[])
+
+    def test_utilisation_routing_fills_the_big_server(self, fleet_profile):
+        """Regression: headcount routing overloads small servers."""
+
+        def fill(balance_on):
+            fleet = EdgeFleet(
+                capacities=[100.0, 1000.0],
+                routing=LeastLoadedRouting(balance_on=balance_on),
+            )
+            for i in range(8):
+                app = synthesize_application(f"app{i}", n_functions=20, seed=i)
+                fleet.admit(MobileDevice(f"u{i}", profile=fleet_profile.device), app)
+            return fleet
+
+        by_users = fill("users")
+        by_utilisation = fill("utilisation")
+        big = "edge-01"
+        assert by_users.servers[big].remote_load > 0  # users actually offload
+        assert by_utilisation.servers[big].users > by_users.servers[big].users
+        assert (
+            by_utilisation.stats().utilisation_imbalance
+            <= by_users.stats().utilisation_imbalance
+        )
+
+
+class TestRebalanceRegressions:
+    def test_rebalance_never_overfills_past_user_cap(self, fleet_profile):
+        """Regression: move targets must respect max_users_per_server."""
+        fleet = skewed_fleet(fleet_profile, servers=2, users=7)
+        hot = max(fleet.servers.values(), key=lambda s: s.users)
+        cold = next(s for s in fleet.servers.values() if s is not hot)
+        assert (hot.users, cold.users) == (7, 0)
+        fleet.max_users_per_server = 2  # the operator tightens the cap
+        moves = fleet.rebalance(cost_aware=False)
+        # The cold server fills exactly to the cap and the pass stops:
+        # the old global-idlest pick kept shovelling users past it.
+        assert moves == 2
+        assert cold.users == 2
+        assert hot.users == 5
+
+    def test_rebalance_keeps_user_gauges_fresh(self, fleet_profile):
+        """Regression: both move endpoints must update fleet_users_*."""
+        fleet = skewed_fleet(fleet_profile)
+        moves = fleet.rebalance(cost_aware=False)
+        assert moves > 0
+        for server_id, server in fleet.servers.items():
+            gauge = fleet.metrics.gauge(f"fleet_users_{server_id}").value
+            assert gauge == server.users, (
+                f"gauge fleet_users_{server_id} says {gauge}, "
+                f"server holds {server.users}"
+            )
+
+    def test_rebalance_terminates_at_zero_tolerance(self, fleet_profile):
+        """Regression: a spread of 1 used to ping-pong forever at
+        tolerance=0 (each move just swapped which server was busiest)."""
+        fleet = skewed_fleet(fleet_profile, servers=2, users=3)
+        moves = fleet.rebalance(tolerance=0, cost_aware=False)
+        assert moves == 1  # 3/0 -> 2/1; spread 1 cannot improve
+        assert sorted(s.users for s in fleet.servers.values()) == [1, 2]
 
 
 class TestDegradedMode:

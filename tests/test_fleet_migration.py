@@ -1,0 +1,341 @@
+"""Tests for fleet migration pricing and geo-latency (repro.fleet).
+
+Covers the cost model itself (re-transmission at the link rate plus a
+handoff, mapped onto the paper's consumption vocabulary), the latency
+maps, and their integration with the fleet: cost-aware rebalancing only
+moves when the modelled gain beats the migration price, every move —
+rebalance or failover replay — lands in the moved user's ledger, RTT
+lands in offloading users' waiting/remote time, and degraded users are
+re-admitted when capacity returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import (
+    EdgeFleet,
+    FingerprintAffinityRouting,
+    GeoLatencyMap,
+    LeastLoadedRouting,
+    MigrationCostModel,
+    StaticLatencyMap,
+    ZeroLatency,
+    handle_outage,
+    make_latency_map,
+)
+from repro.mec.devices import MobileDevice
+from repro.mec.energy import transmission_energy, transmission_time
+from repro.simulation import ServerOutage
+from repro.workloads import synthesize_application
+from repro.workloads.profiles import quick_profile
+from repro.workloads.traces import call_graph_from_dict, call_graph_to_dict
+
+
+@pytest.fixture(scope="module")
+def fleet_profile():
+    return dataclasses.replace(
+        quick_profile(), distinct_graphs=4, multiuser_graph_size=30
+    )
+
+
+def hot_fleet(fleet_profile, servers=3, users=6, **kwargs):
+    """Affinity-pinned fleet: one hot app, every user on one server."""
+    capacity = fleet_profile.server_capacity_per_user * users / servers
+    fleet = EdgeFleet(
+        servers, capacity, routing=FingerprintAffinityRouting(), **kwargs
+    )
+    app = synthesize_application("hot", n_functions=20, seed=2)
+    for i in range(users):
+        fleet.admit(
+            MobileDevice(f"u{i}", profile=fleet_profile.device),
+            call_graph_from_dict(call_graph_to_dict(app)),
+        )
+    return fleet
+
+
+def owner_of(fleet, user_id):
+    for server in fleet.servers.values():
+        if user_id in server.admitted:
+            return server
+    raise AssertionError(f"{user_id} not admitted anywhere")
+
+
+class TestLatencyMaps:
+    def test_zero_latency_is_identically_zero(self):
+        assert ZeroLatency().rtt("anyone", "anywhere") == 0.0
+
+    def test_static_map_is_most_specific_first(self):
+        lat = StaticLatencyMap(
+            {("u1", "edge-00"): 0.2}, {"edge-00": 0.05, "edge-01": 0.07},
+            default=0.01,
+        )
+        assert lat.rtt("u1", "edge-00") == 0.2  # exact pair wins
+        assert lat.rtt("u2", "edge-00") == 0.05  # then the server base
+        assert lat.rtt("u2", "edge-99") == 0.01  # then the default
+
+    def test_static_map_rejects_negative_rtts(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            StaticLatencyMap(default=-0.1)
+        with pytest.raises(ValueError, match=">= 0"):
+            StaticLatencyMap(server_rtt={"s": -1.0})
+
+    def test_geo_map_uses_explicit_positions(self):
+        geo = GeoLatencyMap(
+            {"u": (0.0, 0.0), "s": (1.0, 0.0)},
+            base_rtt=0.05, seconds_per_unit=0.2,
+        )
+        assert geo.rtt("u", "s") == pytest.approx(0.25)
+        assert geo.rtt("u", "u") == pytest.approx(0.05)
+
+    def test_geo_map_hash_placement_is_deterministic(self):
+        first = GeoLatencyMap()
+        second = GeoLatencyMap()
+        pairs = [(f"u{i}", f"edge-{j:02d}") for i in range(5) for j in range(3)]
+        assert [first.rtt(u, s) for u, s in pairs] == [
+            second.rtt(u, s) for u, s in pairs
+        ]
+        assert all(first.rtt(u, s) >= 0 for u, s in pairs)
+        xs = {first.position(u)[0] for u, _ in pairs}
+        assert len(xs) > 1  # ids actually spread over the square
+
+    def test_geo_map_validates_parameters(self):
+        with pytest.raises(ValueError, match="base_rtt"):
+            GeoLatencyMap(base_rtt=-0.1)
+        with pytest.raises(ValueError, match="seconds_per_unit"):
+            GeoLatencyMap(seconds_per_unit=-1.0)
+
+    def test_registry_dispatch(self):
+        assert isinstance(make_latency_map("none"), ZeroLatency)
+        geo = make_latency_map("geo", base_rtt=0.1, seconds_per_unit=0.5)
+        assert isinstance(geo, GeoLatencyMap)
+        assert geo.base_rtt == 0.1
+        with pytest.raises(ValueError, match="unknown latency model"):
+            make_latency_map("teleport")
+
+
+class TestMigrationCostModel:
+    def test_cost_matches_the_transmission_formulas(self, fleet_profile):
+        device = MobileDevice("u", profile=fleet_profile.device)
+        model = MigrationCostModel(handoff_latency=0.5)
+        cost = model.cost(device, 100.0)
+        expected_t = transmission_time(100.0, device.bandwidth)
+        expected_e = transmission_energy(100.0, device.power_transmit, device.bandwidth)
+        assert cost.transmission_time == pytest.approx(expected_t)
+        assert cost.transmission_energy == pytest.approx(expected_e)
+        assert cost.time == pytest.approx(expected_t + 0.5)
+        assert cost.energy == pytest.approx(expected_e)
+        assert cost.combined() > 0
+
+    def test_breakdown_preserves_the_ledger_invariants(self, fleet_profile):
+        device = MobileDevice("u", profile=fleet_profile.device)
+        cost = MigrationCostModel(handoff_latency=0.5).cost(device, 40.0)
+        breakdown = cost.as_breakdown()
+        assert breakdown.local_energy == 0.0
+        assert breakdown.local_time == 0.0
+        assert breakdown.transmission_time == pytest.approx(cost.transmission_time)
+        assert breakdown.waiting_time == pytest.approx(0.5)
+        # remote_time is waiting-inclusive (formula-(2) invariant), so the
+        # breakdown's totals equal the cost's.
+        assert breakdown.time == pytest.approx(cost.time)
+        assert breakdown.energy == pytest.approx(cost.energy)
+
+    def test_data_scale_rescales_the_payload(self, fleet_profile):
+        device = MobileDevice("u", profile=fleet_profile.device)
+        full = MigrationCostModel(data_scale=1.0).cost(device, 80.0)
+        half = MigrationCostModel(data_scale=0.5).cost(device, 80.0)
+        assert half.data_units == pytest.approx(full.data_units / 2)
+        assert half.transmission_time == pytest.approx(full.transmission_time / 2)
+
+    def test_free_model_prices_every_move_at_zero(self, fleet_profile):
+        device = MobileDevice("u", profile=fleet_profile.device)
+        cost = MigrationCostModel.free().cost(device, 1000.0)
+        assert cost.combined() == 0.0
+        assert cost.as_breakdown().time == 0.0
+
+    def test_validation(self, fleet_profile):
+        with pytest.raises(ValueError, match="handoff_latency"):
+            MigrationCostModel(handoff_latency=-1.0)
+        with pytest.raises(ValueError, match="data_scale"):
+            MigrationCostModel(data_scale=-1.0)
+        device = MobileDevice("u", profile=fleet_profile.device)
+        with pytest.raises(ValueError, match="data_units"):
+            MigrationCostModel().cost(device, -1.0)
+
+
+class TestCostAwareRebalance:
+    def test_unprofitable_moves_are_refused(self, fleet_profile):
+        """With migration priced above any congestion gain, the
+        cost-aware pass leaves the skew alone — and charges nothing."""
+        fleet = hot_fleet(
+            fleet_profile, migration=MigrationCostModel(handoff_latency=100.0)
+        )
+        before = fleet.stats().imbalance
+        assert fleet.rebalance(cost_aware=True) == 0
+        assert fleet.stats().imbalance == before
+        assert not fleet.migration_debt
+        assert fleet.metrics.counter("fleet_migrations").value == 0
+
+    def test_profitable_moves_still_happen(self, fleet_profile):
+        """With free migration, cost-aware rebalance flattens the skew
+        as long as each move's modelled gain is positive."""
+        fleet = hot_fleet(fleet_profile, migration=MigrationCostModel.free())
+        skew = fleet.stats().imbalance
+        moves = fleet.rebalance(cost_aware=True)
+        assert moves > 0
+        assert fleet.stats().imbalance < skew
+
+    def test_cost_aware_moves_less_and_nets_no_worse(self, fleet_profile):
+        """Acceptance: strictly fewer moves than the unconditional pass,
+        at equal-or-better net E+T once every move is charged."""
+        aware = hot_fleet(fleet_profile)
+        free = hot_fleet(fleet_profile)
+        aware_moves = aware.rebalance(cost_aware=True)
+        free_moves = free.rebalance(cost_aware=False)
+        assert free_moves > 0
+        assert aware_moves < free_moves
+        assert (
+            aware.total_consumption().combined()
+            <= free.total_consumption().combined()
+        )
+
+
+class TestMigrationAccounting:
+    def test_rebalance_charges_every_move(self, fleet_profile):
+        fleet = hot_fleet(fleet_profile)
+        moves = fleet.rebalance(cost_aware=False)
+        assert moves > 0
+        debt = fleet.migration_debt
+        assert debt  # the moved users owe something
+        assert fleet.metrics.counter("fleet_migrations").value == moves
+        handoff = fleet.migration.handoff_latency
+        for user_id, owed in debt.items():
+            assert owed.waiting_time >= handoff
+            # The fleet ledger shows the server-side consumption plus the
+            # user's accumulated migration debt, term by term.
+            base = owner_of(fleet, user_id).current_consumption().per_user[user_id]
+            total = fleet.total_consumption().per_user[user_id]
+            assert total.waiting_time == pytest.approx(
+                base.waiting_time + owed.waiting_time
+            )
+            assert total.transmission_time == pytest.approx(
+                base.transmission_time + owed.transmission_time
+            )
+            assert total.transmission_energy == pytest.approx(
+                base.transmission_energy + owed.transmission_energy
+            )
+
+    def test_outage_reassignment_is_charged(self, fleet_profile):
+        fleet = EdgeFleet(
+            3,
+            fleet_profile.server_capacity_per_user * 6 / 3,
+            routing=LeastLoadedRouting(),
+        )
+        for i in range(6):
+            app = synthesize_application(f"app{i}", n_functions=20, seed=i)
+            fleet.admit(MobileDevice(f"u{i}", profile=fleet_profile.device), app)
+        victim = sorted(fleet.servers)[0]
+        report = handle_outage(fleet, ServerOutage(time=1.0, server_id=victim))
+        assert report.reassigned
+        assert report.migration_cost > 0
+        assert fleet.metrics.counter("fleet_migrations").value == len(report.reassigned)
+        assert set(fleet.migration_debt) == set(report.reassigned)
+
+    def test_free_model_restores_legacy_accounting(self, fleet_profile):
+        charged = hot_fleet(fleet_profile)
+        legacy = hot_fleet(fleet_profile, migration=MigrationCostModel.free())
+        charged_moves = charged.rebalance(cost_aware=False)
+        legacy_moves = legacy.rebalance(cost_aware=False)
+        assert charged_moves == legacy_moves  # same mechanical flattening
+        assert legacy.total_consumption().combined() < charged.total_consumption().combined()
+
+
+class TestLatencyAccounting:
+    def test_rtt_lands_in_waiting_and_remote_time(self, fleet_profile):
+        app = synthesize_application("geo", n_functions=20, seed=3)
+        rtt = 0.25
+
+        def admit_one(latency):
+            fleet = EdgeFleet(
+                1, fleet_profile.server_capacity_per_user, latency=latency
+            )
+            fleet.admit(
+                MobileDevice("u0", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+            return fleet.total_consumption().per_user["u0"]
+
+        base = admit_one(None)
+        geo = admit_one(StaticLatencyMap(server_rtt={"edge-00": rtt}))
+        assert base.remote_time > 0  # the user actually offloads
+        assert geo.remote_time == pytest.approx(base.remote_time + rtt)
+        assert geo.waiting_time == pytest.approx(base.waiting_time + rtt)
+        assert geo.local_time == pytest.approx(base.local_time)
+
+    def test_local_only_users_pay_no_rtt(self, fleet_profile):
+        app = synthesize_application(
+            "pinned", n_functions=12, seed=7, sensor_fraction=1.0
+        )
+        fleet = EdgeFleet(
+            1,
+            fleet_profile.server_capacity_per_user,
+            latency=StaticLatencyMap(default=5.0),
+        )
+        fleet.admit(MobileDevice("u0", profile=fleet_profile.device), app)
+        breakdown = fleet.total_consumption().per_user["u0"]
+        assert breakdown.remote_time == 0.0
+        assert breakdown.waiting_time == 0.0
+
+
+class TestDegradedRetry:
+    def test_revive_readmits_degraded_users(self, fleet_profile):
+        fleet = EdgeFleet(
+            2,
+            fleet_profile.server_capacity_per_user * 2,
+            routing=LeastLoadedRouting(),
+            max_users_per_server=2,
+        )
+        app = synthesize_application("retry", n_functions=15, seed=4)
+        for i in range(4):
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+        victim = sorted(fleet.servers)[0]
+        report = handle_outage(fleet, ServerOutage(time=1.0, server_id=victim))
+        assert len(report.degraded) == 2  # the survivor was already full
+
+        recovered = fleet.revive_server(victim)
+        assert {admission.user_id for admission in recovered} == set(report.degraded)
+        assert all(admission.server_id == victim for admission in recovered)
+        assert fleet.stats().degraded_users == 0
+        assert fleet.metrics.counter("fleet_degraded_recovered").value == 2
+        for server_id, server in fleet.servers.items():
+            assert (
+                fleet.metrics.gauge(f"fleet_users_{server_id}").value == server.users
+            )
+
+    def test_retry_is_partial_when_capacity_stays_short(self, fleet_profile):
+        fleet = EdgeFleet(
+            1,
+            fleet_profile.server_capacity_per_user,
+            max_users_per_server=1,
+        )
+        app = synthesize_application("short", n_functions=15, seed=5)
+        for i in range(2):
+            fleet.admit(
+                MobileDevice(f"u{i}", profile=fleet_profile.device),
+                call_graph_from_dict(call_graph_to_dict(app)),
+            )
+        assert fleet.stats().degraded_users == 1  # u1 found the fleet full
+        (server_id,) = fleet.servers
+        handle_outage(fleet, ServerOutage(time=1.0, server_id=server_id))
+        assert fleet.stats().degraded_users == 2  # u0 drained with no survivors
+
+        recovered = fleet.revive_server(server_id)
+        # One slot, two candidates: the earliest-degraded user wins.
+        assert [admission.user_id for admission in recovered] == ["u1"]
+        assert fleet.stats().users == 1
+        assert fleet.stats().degraded_users == 1
