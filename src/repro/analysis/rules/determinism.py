@@ -6,8 +6,10 @@ cache answers one user's request with another user's plan; thread and
 process executors must produce byte-identical plans; every fleet node
 must compute the same answer from the same inputs.  These rules police
 the planning packages (``repro.core``, ``repro.compression``,
-``repro.spectral``, ``repro.mec``) for the three ways that invariant
-historically breaks:
+``repro.spectral``, ``repro.mec``) and the forecasting package
+(``repro.forecast``, whose predictions drive proactive placement and
+must replay identically from a recorded trace) for the three ways that
+invariant historically breaks:
 
 * randomness drawn from global, unseeded generators;
 * wall-clock values (only *measurement* clocks — ``perf_counter``,
@@ -30,6 +32,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.compression",
     "repro.spectral",
     "repro.mec",
+    "repro.forecast",
 )
 """Packages whose outputs feed caches, fingerprints, or plan decisions."""
 

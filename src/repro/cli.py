@@ -182,10 +182,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="geo model: RTT seconds per unit of distance on the unit square",
     )
     fleet.add_argument(
-        "--rebalance", choices=["off", "free", "cost-aware"], default="off",
+        "--rebalance", choices=["off", "free", "cost-aware", "proactive"],
+        default="off",
         help="post-replay rebalancing pass: 'free' flattens unconditionally, "
              "'cost-aware' only moves when the modelled gain beats the "
-             "migration cost (both charge every move)",
+             "migration cost, 'proactive' drains servers whose forecasted "
+             "utilisation breaches the threshold (all charge every move)",
+    )
+    fleet.add_argument(
+        "--proactive", action="store_true",
+        help="shorthand for --rebalance proactive",
+    )
+    fleet.add_argument(
+        "--sla", type=float, default=None, metavar="DEADLINE",
+        help="attach a per-user SLA deadline (scalarised E+T budget) to "
+             "every arrival; admission filters servers that would breach it",
+    )
+    fleet.add_argument(
+        "--sla-action", choices=["degrade", "reject"], default="degrade",
+        help="what to do with a user no server can serve within the "
+             "deadline: degrade to all-local (default) or reject outright",
+    )
+    fleet.add_argument(
+        "--forecaster", choices=["naive", "ewma", "ar", "auto"], default="ewma",
+        help="per-series forecaster feeding the fleet telemetry "
+             "('auto' picks the lowest-MAE model per series)",
+    )
+    fleet.add_argument(
+        "--horizon", type=int, default=3,
+        help="proactive rebalancing: forecast horizon in fleet ticks",
+    )
+    fleet.add_argument(
+        "--utilisation-threshold", type=float, default=0.8,
+        help="proactive rebalancing: forecasted utilisation above this "
+             "marks a server as a predicted hotspot",
     )
     fleet.add_argument(
         "--handoff-latency", type=float, default=0.05,
@@ -565,6 +595,8 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
 
     if args.smoke:
         args.requests, args.pool, args.graph_size, args.servers = 16, 4, 30, 4
+    if args.proactive:
+        args.rebalance = "proactive"
 
     policies = args.policies or list(ROUTING_POLICIES)
     unknown = sorted(set(policies) - set(ROUTING_POLICIES))
@@ -604,13 +636,22 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
                 capacities=args.capacities,
                 balance_on=args.balance_on,
                 latency=(
-                    make_latency_map(args.latency, seconds_per_unit=args.rtt_scale)
+                    make_latency_map(
+                        args.latency,
+                        seconds_per_unit=args.rtt_scale,
+                        seed=args.seed,
+                    )
                     if args.latency != "none"
                     else None
                 ),
                 latency_weight=args.latency_weight,
                 migration=MigrationCostModel(handoff_latency=args.handoff_latency),
                 rebalance=args.rebalance,
+                sla_deadline=args.sla,
+                sla_action=args.sla_action,
+                forecaster=args.forecaster,
+                horizon=args.horizon,
+                utilisation_threshold=args.utilisation_threshold,
             )
         elapsed[executor] = watch.elapsed
         combined_by_executor[executor] = [row.combined for row in comparison.rows]
@@ -629,7 +670,7 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     print(
         render_table(
             ["policy", "servers", "users", "degraded", "max/mean", "util",
-             "hit rate", "moves", "E", "T", "E+T", "vs single"],
+             "hit rate", "moves", "sla viol", "E", "T", "E+T", "vs single"],
             [
                 [
                     row.policy,
@@ -640,6 +681,7 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
                     f"{row.utilisation_imbalance:.2f}",
                     f"{row.hit_rate:.3f}",
                     row.moves,
+                    f"{row.sla_violation_rate:.3f}",
                     f"{row.energy:.2f}",
                     f"{row.time:.2f}",
                     f"{row.combined:.2f}",
@@ -659,6 +701,14 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
         print(
             f"rebalance ({args.rebalance}): {total_moves} moves across policies, "
             f"E+T {total_charged:.2f} charged as migration cost"
+        )
+    if args.sla is not None:
+        total_violations = sum(row.sla_violations for row in comparison.rows)
+        total_rejections = sum(row.sla_rejections for row in comparison.rows)
+        print(
+            f"sla (deadline {args.sla:g}, {args.sla_action}): "
+            f"{total_violations} violations and {total_rejections} rejections "
+            f"across policies"
         )
     if len(executors) > 1:
         thread_s, process_s = elapsed["thread"], elapsed["process"]

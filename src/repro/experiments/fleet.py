@@ -19,6 +19,14 @@ routing and waiting-time accounting, and a post-replay *rebalance* pass
 (``"free"`` flattens unconditionally, ``"cost-aware"`` only moves when
 the modelled gain beats the migration price, after arXiv:1605.08023's
 state-movement costs; both charge every move into the fleet ledger).
+
+With the :mod:`repro.forecast` subsystem the sweep also covers the
+temporal knobs: a per-user SLA *deadline* (admission becomes constrained
+placement and the report gains violation/rejection columns, with the
+violation *rate* first-class), a *forecaster* feeding the fleet's
+telemetry, and ``rebalance="proactive"`` draining servers whose
+*forecasted* utilisation breaches a threshold instead of reacting to
+observed spread.
 """
 
 from __future__ import annotations
@@ -31,13 +39,15 @@ from repro.fleet.fleet import EdgeFleet
 from repro.fleet.latency import LatencyMap
 from repro.fleet.migration import MigrationCostModel
 from repro.fleet.routing import ROUTING_POLICIES, make_routing_policy
+from repro.forecast.proactive import DEFAULT_UTILISATION_THRESHOLD
+from repro.forecast.sla import UserSLA
 from repro.mec.devices import MobileDevice
 from repro.service.executor import PlanningBackend
 from repro.workloads.multiuser import build_mec_system
 from repro.workloads.profiles import ExperimentProfile, quick_profile
 from repro.workloads.traces import replay_arrivals
 
-REBALANCE_MODES = ("off", "free", "cost-aware")
+REBALANCE_MODES = ("off", "free", "cost-aware", "proactive")
 """Valid *rebalance* arguments for the experiment and the CLI."""
 
 
@@ -71,6 +81,18 @@ class FleetPolicyRow:
     migration_cost: float = 0.0
     """Total ``E + T`` charged for those moves (and failover replays)."""
 
+    sla_users: int = 0
+    """Users admitted with an SLA deadline attached (0 = no SLA sweep)."""
+
+    sla_violations: int = 0
+    """SLA users whose final ledger cost breaches their deadline."""
+
+    sla_rejections: int = 0
+    """Users turned away at admission under ``on_infeasible="reject"``."""
+
+    sla_violation_rate: float = 0.0
+    """``violations / sla_users`` — the first-class SLA benchmark column."""
+
 
 @dataclass(frozen=True)
 class FleetRoutingComparison:
@@ -84,13 +106,19 @@ def _replay(
     fleet: EdgeFleet,
     arrivals: Sequence[tuple[str, object]],
     profile: ExperimentProfile,
+    sla: UserSLA | None = None,
 ) -> None:
     # Batch admission is sequential-equivalent (same routing, caching and
     # planner state as an admit() loop); with a planning backend attached
     # to the fleet, the batch's distinct plans compute in parallel.
-    fleet.admit_many(
-        [(MobileDevice(user_id, profile=profile.device), graph) for user_id, graph in arrivals]
+    devices = [
+        (MobileDevice(user_id, profile=profile.device), graph)
+        for user_id, graph in arrivals
+    ]
+    slas = (
+        {device.device_id: sla for device, _ in devices} if sla is not None else None
     )
+    fleet.admit_many(devices, slas=slas)
 
 
 def run_fleet_routing_experiment(
@@ -110,6 +138,11 @@ def run_fleet_routing_experiment(
     latency_weight: float = 0.0,
     migration: MigrationCostModel | None = None,
     rebalance: str = "off",
+    sla_deadline: float | None = None,
+    sla_action: str = "degrade",
+    forecaster: str = "ewma",
+    horizon: int = 3,
+    utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD,
 ) -> FleetRoutingComparison:
     """Compare routing policies on one trace; include the 1-server control.
 
@@ -125,6 +158,13 @@ def run_fleet_routing_experiment(
     *executor* selects where planning runs (``"thread"`` inline or
     ``"process"`` on a multiprocessing pool); planning is deterministic,
     so the rows are identical either way.
+
+    *sla_deadline* attaches a :class:`~repro.forecast.sla.UserSLA` (in
+    scalarised ``E + T``) to every arrival, *sla_action* picking what
+    happens when no server is feasible; *forecaster* feeds each fleet's
+    telemetry and ``rebalance="proactive"`` runs the forecast-driven
+    rebalancer with *horizon*/*utilisation_threshold* instead of the
+    reactive pass.
     """
     if rebalance not in REBALANCE_MODES:
         raise ValueError(
@@ -134,6 +174,11 @@ def run_fleet_routing_experiment(
     profile = profile or quick_profile()
     workload = build_mec_system(n_users, profile)
     arrivals = replay_arrivals(workload, rate=rate, seed=seed)
+    sla = (
+        UserSLA(sla_deadline, on_infeasible=sla_action)
+        if sla_deadline is not None
+        else None
+    )
     if capacities is not None:
         capacities = list(capacities)
         total_capacity = sum(capacities)
@@ -164,13 +209,21 @@ def run_fleet_routing_experiment(
             backend=backend,
             latency=latency,
             migration=migration,
+            forecaster=forecaster,
         )
-        _replay(fleet, arrivals, profile)
+        _replay(fleet, arrivals, profile, sla=sla)
         moves = 0
-        if rebalance != "off":
+        if rebalance == "proactive":
+            moves = fleet.rebalance(
+                proactive=True,
+                horizon=horizon,
+                utilisation_threshold=utilisation_threshold,
+            )
+        elif rebalance != "off":
             moves = fleet.rebalance(cost_aware=rebalance == "cost-aware")
         consumption = fleet.total_consumption()
         stats = fleet.stats()
+        sla_report = fleet.sla_report()
         migration_hist = fleet.metrics.histogram("fleet_migration_cost")
         return FleetPolicyRow(
             policy=policy_name,
@@ -186,6 +239,10 @@ def run_fleet_routing_experiment(
             utilisation_imbalance=stats.utilisation_imbalance,
             moves=moves,
             migration_cost=migration_hist.mean * migration_hist.count,
+            sla_users=sla_report.users,
+            sla_violations=sla_report.violations,
+            sla_rejections=sla_report.rejections,
+            sla_violation_rate=sla_report.violation_rate,
         )
 
     try:

@@ -2,7 +2,7 @@
 
 The paper's COPMECS model assumes one edge server ``S``; this package
 scales it horizontally while keeping every per-server result exactly
-the paper's model.  Five pieces:
+the paper's model.  Six pieces:
 
 * :mod:`repro.fleet.routing` — pluggable user→server policies:
   round-robin, least-loaded, power-of-two-choices, and
@@ -16,6 +16,9 @@ the paper's model.  Five pieces:
 * :mod:`repro.fleet.migration` — pricing of user moves between servers
   (re-transmit offloaded input data at the link rate plus a handoff
   latency); rebalancing is cost-aware and every move is charged;
+* :mod:`repro.fleet.modelled` — the shared hypothetical-deployment
+  evaluator behind both cost-aware rebalancing gains and SLA admission
+  feasibility (one modelled-latency path, no drift);
 * :mod:`repro.fleet.fleet` — :class:`EdgeFleet`, holding one
   :class:`~repro.mec.online.OnlinePlanner` and
   :class:`~repro.service.plan_cache.PlanCache` per server, fleet-wide
@@ -25,6 +28,13 @@ the paper's model.  Five pieces:
   (:class:`~repro.simulation.faults.ServerOutage`): drain, re-admit on
   survivors (charged as migrations), degraded all-local fallback when
   no capacity remains, revival via :meth:`EdgeFleet.revive_server`.
+
+The fleet also builds on :mod:`repro.forecast` (a leaf package) for the
+temporal dimension: per-user :class:`~repro.forecast.sla.UserSLA`
+deadlines accepted at :meth:`EdgeFleet.admit` (routing as constrained
+placement), per-server/per-link telemetry recorded on every tick, and
+``EdgeFleet.rebalance(proactive=True, horizon=h)`` moving users off
+servers whose *forecasted* utilisation breaches threshold.
 
 ``python -m repro fleet-bench`` replays an arrival trace over the fleet
 and compares routing policies on load balance, cache hit rate and
@@ -48,10 +58,16 @@ from repro.fleet.latency import (
     make_latency_map,
 )
 from repro.fleet.migration import MigrationCost, MigrationCostModel
+from repro.fleet.modelled import (
+    hypothetical_consumption,
+    hypothetical_remote_parts,
+    modelled_user_cost,
+)
 from repro.fleet.routing import (
     BALANCE_METRICS,
     ROUTING_POLICIES,
     FingerprintAffinityRouting,
+    ForecastRouting,
     LeastLoadedRouting,
     PowerOfTwoRouting,
     RoundRobinRouting,
@@ -66,6 +82,7 @@ __all__ = [
     "LeastLoadedRouting",
     "PowerOfTwoRouting",
     "FingerprintAffinityRouting",
+    "ForecastRouting",
     "ServerLoad",
     "ROUTING_POLICIES",
     "BALANCE_METRICS",
@@ -83,6 +100,9 @@ __all__ = [
     "FleetAdmission",
     "FleetStats",
     "all_local_breakdown",
+    "hypothetical_consumption",
+    "hypothetical_remote_parts",
+    "modelled_user_cost",
     "FailoverReport",
     "handle_outage",
     "apply_outages",

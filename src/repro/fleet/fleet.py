@@ -35,13 +35,16 @@ from typing import TYPE_CHECKING
 from repro.callgraph.model import FunctionCallGraph
 from repro.fleet.latency import LatencyMap, ZeroLatency
 from repro.fleet.migration import MigrationCost, MigrationCostModel
+from repro.fleet.modelled import hypothetical_consumption, modelled_user_cost
 from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
+from repro.forecast.proactive import DEFAULT_UTILISATION_THRESHOLD, FleetTelemetry
+from repro.forecast.sla import SLAReport, UserSLA
 from repro.mec.admission import AllocationPolicy
 from repro.mec.devices import EdgeServer, MobileDevice
 from repro.mec.energy import ConsumptionBreakdown, local_compute_time, local_energy
 from repro.mec.online import AdmissionRecord, OnlinePlanner
 from repro.mec.scheme import PartitionedApplication
-from repro.mec.system import MECSystem, SystemConsumption, UserContext
+from repro.mec.system import SystemConsumption
 from repro.service.fingerprint import request_fingerprint
 from repro.service.metrics import MetricsRegistry
 from repro.service.plan_cache import PlanCache
@@ -88,6 +91,7 @@ class _DegradedUser:
     device: MobileDevice
     graph: FunctionCallGraph
     breakdown: ConsumptionBreakdown
+    sla: UserSLA | None = None
 
 
 @dataclass
@@ -101,6 +105,9 @@ class FleetAdmission:
     record: AdmissionRecord | None
     cache_hit: bool = False
     degraded: bool = False
+    rejected: bool = False
+    """SLA admission control turned the user away (``on_infeasible=
+    "reject"`` and no feasible server); the user is not in the fleet."""
 
 
 class FleetServer:
@@ -142,13 +149,16 @@ class FleetServer:
         """remote_load / capacity (the heterogeneous balance metric)."""
         return self.remote_load / self.server.total_capacity
 
-    def load(self, rtt: float = 0.0) -> ServerLoad:
+    def load(
+        self, rtt: float = 0.0, predicted_utilisation: float | None = None
+    ) -> ServerLoad:
         return ServerLoad(
             server_id=self.server_id,
             users=self.users,
             remote_load=self.remote_load,
             capacity=self.server.total_capacity,
             rtt=rtt,
+            predicted_utilisation=predicted_utilisation,
         )
 
     def placement_of(self, user_id: str) -> tuple[PartitionedApplication, set[int]]:
@@ -180,25 +190,14 @@ class FleetServer:
         set, typically lifted from another server) added — no planner
         mutation, no greedy replay.  This is the model behind cost-aware
         rebalancing: the gain of a move is the drop in the two affected
-        servers' modelled totals.
+        servers' modelled totals.  The evaluation itself lives in
+        :func:`repro.fleet.modelled.hypothetical_consumption`, the single
+        helper SLA feasibility also calls — the two modelled-latency
+        paths cannot drift.
         """
-        state = self.planner.state
-        users = [u for u in state.users if u.user_id != without]
-        apps: dict[str, PartitionedApplication] = {
-            uid: app for uid, app in state.apps.items() if uid != without
-        }
-        remote_parts: dict[str, set[int]] = {
-            uid: parts for uid, parts in state.remote_parts.items() if uid != without
-        }
-        if extra is not None:
-            device, graph, app, remote = extra
-            users.append(UserContext(device, graph))
-            apps[device.device_id] = app
-            remote_parts[device.device_id] = remote
-        if not users:
-            return 0.0
-        system = MECSystem(self.server, users, allocation=self._allocation)
-        return system.evaluate_placement(apps, remote_parts).combined(weights)
+        return hypothetical_consumption(self, without=without, extra=extra).combined(
+            weights
+        )
 
     def admit(
         self,
@@ -345,6 +344,7 @@ class EdgeFleet:
         backend: "PlanningBackend | None" = None,
         latency: LatencyMap | None = None,
         migration: MigrationCostModel | None = None,
+        forecaster: str | None = "ewma",
     ) -> None:
         from repro.core.baselines import make_planner
 
@@ -380,6 +380,9 @@ class EdgeFleet:
         self.max_users_per_server = max_users_per_server
         self.latency = latency or ZeroLatency()
         self.migration = migration or MigrationCostModel()
+        self.telemetry: FleetTelemetry | None = (
+            FleetTelemetry(self.metrics, forecaster) if forecaster is not None else None
+        )
         self.servers: dict[str, FleetServer] = {
             server_id: FleetServer(
                 server_id,
@@ -395,6 +398,8 @@ class EdgeFleet:
         self._owner: dict[str, str] = {}
         self._degraded: dict[str, _DegradedUser] = {}
         self._migration_debt: dict[str, ConsumptionBreakdown] = {}
+        self._slas: dict[str, UserSLA] = {}
+        self._sla_rejections = 0
 
     # ------------------------------------------------------------------
     # Admission
@@ -411,15 +416,95 @@ class EdgeFleet:
             if cap is None or server.users < cap
         ]
 
-    def admit(self, device: MobileDevice, graph: FunctionCallGraph) -> FleetAdmission:
-        """Route and admit one user; never fails for lack of capacity."""
-        return self._admit_one(device, graph, fallback_plan=None)
+    def admit(
+        self,
+        device: MobileDevice,
+        graph: FunctionCallGraph,
+        sla: UserSLA | None = None,
+    ) -> FleetAdmission:
+        """Route and admit one user; never fails for lack of capacity.
+
+        With *sla*, routing becomes *constrained* placement: candidate
+        servers whose modelled cost for this user — hypothetical
+        ``E + T`` on that server's deployment plus the link RTT,
+        evaluated through :func:`repro.fleet.modelled.modelled_user_cost`
+        — would breach the deadline are filtered out before the routing
+        policy chooses.  When no server is feasible the user degrades to
+        all-local execution (still queued for :meth:`retry_degraded`) or
+        is rejected outright, per :attr:`~repro.forecast.sla.UserSLA.
+        on_infeasible`.
+        """
+        return self._admit_one(device, graph, fallback_plan=None, sla=sla)
+
+    def _lookup_plan(self, key: str) -> "UserPlan | None":
+        """Any server's cached plan for *key*, without statistics churn.
+
+        Plans are server-independent (content-addressed), so a
+        speculative SLA evaluation may borrow the plan from whichever
+        cache holds it; :meth:`~repro.service.plan_cache.PlanCache.peek`
+        leaves LRU order and hit-rate accounting untouched — probes are
+        not requests.
+        """
+        for server in self.servers.values():
+            plan = server.cache.peek(key)
+            if plan is not None:
+                return plan
+        return None
+
+    def _sla_feasible(
+        self,
+        eligible: list[FleetServer],
+        device: MobileDevice,
+        graph: FunctionCallGraph,
+        plan: "UserPlan",
+        sla: UserSLA,
+    ) -> list[FleetServer]:
+        """The subset of *eligible* whose modelled cost meets the deadline."""
+        weights = self.config.objective
+        return [
+            server
+            for server in eligible
+            if sla.satisfied_by(
+                modelled_user_cost(
+                    server,
+                    device,
+                    graph,
+                    plan,
+                    weights,
+                    rtt=self.latency.rtt(device.device_id, server.server_id),
+                )
+            )
+        ]
+
+    def _admit_infeasible(
+        self,
+        device: MobileDevice,
+        graph: FunctionCallGraph,
+        sla: UserSLA | None,
+    ) -> FleetAdmission:
+        """No server can take the user: degrade to all-local, or reject."""
+        user_id = device.device_id
+        if sla is not None and sla.on_infeasible == "reject":
+            self._sla_rejections += 1
+            self.metrics.counter("fleet_sla_rejections").inc()
+            self._record_tick()
+            return FleetAdmission(user_id, None, None, rejected=True)
+        self._degraded[user_id] = _DegradedUser(
+            device, graph, all_local_breakdown(device, graph), sla=sla
+        )
+        if sla is not None:
+            self._slas[user_id] = sla
+            self.metrics.counter("fleet_sla_infeasible").inc()
+        self.metrics.counter("fleet_degraded").inc()
+        self._record_tick()
+        return FleetAdmission(user_id, None, None, degraded=True)
 
     def _admit_one(
         self,
         device: MobileDevice,
         graph: FunctionCallGraph,
         fallback_plan: "UserPlan | None",
+        sla: UserSLA | None = None,
     ) -> FleetAdmission:
         user_id = device.device_id
         if user_id in self._owner or user_id in self._degraded:
@@ -427,33 +512,52 @@ class EdgeFleet:
         started = time.perf_counter()
         eligible = self._eligible()
         if not eligible:
-            self._degraded[user_id] = _DegradedUser(
-                device, graph, all_local_breakdown(device, graph)
-            )
-            self.metrics.counter("fleet_degraded").inc()
-            return FleetAdmission(user_id, None, None, degraded=True)
+            return self._admit_infeasible(device, graph, sla)
 
         key = self.request_key(graph)
+        if sla is not None:
+            # Feasibility needs the newcomer's plan before any server is
+            # chosen; borrow a cached one when possible, else plan once
+            # and hand the result down as the admission's fallback plan
+            # (used only on a cache miss, so hit-rate stats are honest).
+            if fallback_plan is None:
+                fallback_plan = self._lookup_plan(key)
+            if fallback_plan is None:
+                fallback_plan = self._template.plan_user(graph)
+            eligible = self._sla_feasible(eligible, device, graph, fallback_plan, sla)
+            if not eligible:
+                return self._admit_infeasible(device, graph, sla)
         target = self.routing.route(
             key,
             [
-                server.load(rtt=self.latency.rtt(user_id, server.server_id))
+                server.load(
+                    rtt=self.latency.rtt(user_id, server.server_id),
+                    predicted_utilisation=(
+                        self.telemetry.predict_utilisation(server.server_id)
+                        if self.telemetry is not None
+                        else None
+                    ),
+                )
                 for server in eligible
             ],
         )
         server = self.servers[target]
         record, cache_hit = server.admit(device, graph, key, fallback_plan=fallback_plan)
         self._owner[user_id] = target
+        if sla is not None:
+            self._slas[user_id] = sla
         self.metrics.counter("fleet_admitted").inc()
         self.metrics.counter("fleet_cache_hits" if cache_hit else "fleet_cache_misses").inc()
         self.metrics.gauge(f"fleet_users_{target}").set(server.users)
         self.metrics.histogram("fleet_admit_seconds").observe(time.perf_counter() - started)
+        self._record_tick()
         return FleetAdmission(user_id, target, record, cache_hit=cache_hit)
 
     def admit_many(
         self,
         arrivals: "Sequence[tuple[MobileDevice, FunctionCallGraph]]",
         backend: "PlanningBackend | None" = None,
+        slas: Mapping[str, UserSLA] | None = None,
     ) -> list[FleetAdmission]:
         """Admit a batch of users; identical outcome to sequential admits.
 
@@ -464,7 +568,8 @@ class EdgeFleet:
         admissions themselves stay sequential.  Routing decisions,
         cache-hit accounting, capacity caps and planner state therefore
         match a plain ``admit`` loop exactly; only the planning work is
-        hoisted out and parallelised.
+        hoisted out and parallelised.  *slas* attaches per-user
+        :class:`~repro.forecast.sla.UserSLA` deadlines by device id.
         """
         backend = backend if backend is not None else self.backend
         precomputed: dict[str, "UserPlan"] = {}
@@ -491,7 +596,10 @@ class EdgeFleet:
                     precomputed = dict(zip(keys, plans, strict=True))
         return [
             self._admit_one(
-                device, graph, fallback_plan=precomputed.get(self.request_key(graph))
+                device,
+                graph,
+                fallback_plan=precomputed.get(self.request_key(graph)),
+                sla=(slas or {}).get(device.device_id),
             )
             for device, graph in arrivals
         ]
@@ -513,9 +621,13 @@ class EdgeFleet:
             if not self._eligible():
                 break
             entry = self._degraded.pop(user_id)
-            admission = self._admit_one(entry.device, entry.graph, fallback_plan=None)
+            admission = self._admit_one(
+                entry.device, entry.graph, fallback_plan=None, sla=entry.sla
+            )
             if admission.degraded:
-                continue  # pragma: no cover - eligibility checked above
+                # Capacity exists but the user's SLA still finds no
+                # feasible server; _admit_one re-queued them degraded.
+                continue
             readmitted.append(admission)
             self.metrics.counter("fleet_degraded_recovered").inc()
         return readmitted
@@ -554,6 +666,43 @@ class EdgeFleet:
                 combined.per_user[user_id] = combined.per_user[user_id] + debt
         return combined
 
+    def sla_report(self) -> SLAReport:
+        """Point-in-time SLA scorecard against the *current* ledger.
+
+        Each SLA-carrying user's cost is recomputed from
+        :meth:`total_consumption` — link RTT and accumulated migration
+        debt included — and compared against their deadline in the
+        objective's scalarised currency.  The report is a snapshot, not
+        a running counter: a rebalance pass (proactive or reactive) can
+        genuinely lower, or raise, the violation rate, which is exactly
+        what the SLA benchmark measures.
+        """
+        weights = self.config.objective
+        consumption = self.total_consumption()
+        violations = 0
+        degraded = 0
+        worst = 0.0
+        for user_id, sla in self._slas.items():
+            breakdown = consumption.per_user.get(user_id)
+            if breakdown is None:
+                # A drained user between kill_server and failover
+                # re-admission has no ledger entry this instant.
+                continue
+            cost = weights.combine(breakdown.energy, breakdown.time)
+            if sla.violated_by(cost):
+                violations += 1
+                worst = max(worst, cost - sla.deadline)
+            if user_id in self._degraded:
+                degraded += 1
+        self.metrics.gauge("fleet_sla_violations").set(violations)
+        return SLAReport(
+            users=len(self._slas),
+            violations=violations,
+            rejections=self._sla_rejections,
+            degraded=degraded,
+            worst_excess=worst,
+        )
+
     def load_stats(self) -> list[ServerLoad]:
         """Per-server load snapshots, sorted by server id."""
         return [
@@ -589,6 +738,27 @@ class EdgeFleet:
     def migration_debt(self) -> dict[str, ConsumptionBreakdown]:
         """Accumulated per-user migration charges (moves are never free)."""
         return dict(self._migration_debt)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_tick(self) -> None:
+        """Sample every server's utilisation and every owned link's RTT.
+
+        Called at the end of each admission and rebalance — the fleet's
+        notion of a tick — so the telemetry's series advance with the
+        workload and forecasts always extrapolate from the latest state.
+        A fleet built with ``forecaster=None`` records nothing.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        for server_id, server in sorted(self.servers.items()):
+            telemetry.record_server(server_id, server.utilisation)
+            for user_id in server.admitted:
+                telemetry.record_link(
+                    user_id, server_id, self.latency.rtt(user_id, server_id)
+                )
 
     # ------------------------------------------------------------------
     # Rebalancing and failover hooks
@@ -679,53 +849,170 @@ class EdgeFleet:
             return None
         return busiest, idlest, best_user
 
+    def _move_user(self, src: FleetServer, dst: FleetServer, user_id: str) -> None:
+        """Replay *user_id* from *src* onto *dst* and charge the move."""
+        entry = src.evict(user_id)
+        dst.admit(entry.device, entry.graph, entry.key, plan=entry.plan)
+        self._owner[user_id] = dst.server_id
+        self.charge_migration(user_id)
+        self.metrics.gauge(f"fleet_users_{src.server_id}").set(src.users)
+        self.metrics.gauge(f"fleet_users_{dst.server_id}").set(dst.users)
+        self.metrics.counter("fleet_rebalanced").inc()
+
+    def _best_proactive_move(
+        self, src: FleetServer, predicted: dict[str, float], threshold: float
+    ) -> tuple[FleetServer, str, float] | None:
+        """Pick (destination, user, shifted weight) to relieve *src*.
+
+        The candidate user is the one offloading the most computation to
+        *src* (all-local users free no server capacity); the destination
+        is the capped-eligible server whose *predicted* utilisation
+        stays under the threshold after absorbing that weight, lowest
+        predicted-after first.  Users carrying an SLA are only moved to
+        servers where their deadline stays feasible — evaluated through
+        the same shared helper as admission.
+        """
+        candidates = [s for s in self._eligible() if s is not src]
+        if not candidates:
+            return None
+        best: tuple[float, str] | None = None
+        for user_id in src.admitted:
+            app, remote = src.placement_of(user_id)
+            weight = app.remote_weight(remote)
+            if weight <= 0:
+                continue
+            if best is None or (weight, user_id) > best:
+                best = (weight, user_id)
+        if best is None:
+            return None
+        weight, user_id = best
+        entry = src.admitted[user_id]
+        sla = self._slas.get(user_id)
+        feasible: list[tuple[float, str, FleetServer]] = []
+        for dst in candidates:
+            after = predicted[dst.server_id] + weight / dst.server.total_capacity
+            if after > threshold:
+                continue
+            if sla is not None and not self._sla_feasible(
+                [dst], entry.device, entry.graph, entry.plan, sla
+            ):
+                continue
+            feasible.append((after, dst.server_id, dst))
+        if not feasible:
+            return None
+        _, _, dst = min(feasible, key=lambda item: (item[0], item[1]))
+        return dst, user_id, weight
+
+    def _rebalance_proactive(
+        self, max_moves: int | None, horizon: int, threshold: float
+    ) -> int:
+        """Drain servers whose *forecasted* utilisation breaches threshold.
+
+        Seeds a per-server predicted-utilisation map from the telemetry
+        (falling back to current utilisation on cold series), then
+        repeatedly relieves the hottest predicted-breaching server,
+        updating the map incrementally as each move shifts offloaded
+        weight — the forecast is not re-queried mid-pass, so one pass
+        acts on one consistent view of the future.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:  # pragma: no cover - rebalance() validates
+            raise ValueError("proactive rebalancing needs telemetry")
+        predicted: dict[str, float] = {}
+        for server_id, server in sorted(self.servers.items()):
+            outlook = telemetry.predict_utilisation(server_id, horizon)
+            if outlook is None:
+                outlook = server.utilisation
+            predicted[server_id] = max(outlook, 0.0)
+        moves = 0
+        while max_moves is None or moves < max_moves:
+            breaching = sorted(
+                (sid for sid, value in predicted.items() if value > threshold),
+                key=lambda sid: (-predicted[sid], sid),
+            )
+            chosen: tuple[FleetServer, FleetServer, str, float] | None = None
+            for src_id in breaching:
+                src = self.servers[src_id]
+                move = self._best_proactive_move(src, predicted, threshold)
+                if move is not None:
+                    dst, user_id, weight = move
+                    chosen = (src, dst, user_id, weight)
+                    break
+            if chosen is None:
+                break
+            src, dst, user_id, weight = chosen
+            self._move_user(src, dst, user_id)
+            predicted[src.server_id] -= weight / src.server.total_capacity
+            predicted[dst.server_id] += weight / dst.server.total_capacity
+            self.metrics.counter("fleet_proactive_moves").inc()
+            moves += 1
+        return moves
+
     def rebalance(
         self,
         max_moves: int | None = None,
         tolerance: int = 1,
         *,
         cost_aware: bool = True,
+        proactive: bool = False,
+        horizon: int = 1,
+        utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD,
     ) -> int:
-        """Move users from the busiest to the idlest server; return moves.
+        """Move users between servers to restore balance; return moves.
 
-        Each move evicts one of the busiest server's users and replays
-        it (with its recorded plan — no replanning) on the idlest
-        *eligible* server (``max_users_per_server`` is enforced on move
-        targets exactly as on admission), until the user-count spread is
-        within *tolerance*, no move can improve it, or *max_moves* is
-        reached.  This is the hook a supervisor calls after failover or
-        a burst of affinity-skewed arrivals.
+        Reactive (default): each move evicts one of the busiest server's
+        users and replays it (with its recorded plan — no replanning) on
+        the idlest *eligible* server (``max_users_per_server`` is
+        enforced on move targets exactly as on admission), until the
+        user-count spread is within *tolerance*, no move can improve it,
+        or *max_moves* is reached.  This is the hook a supervisor calls
+        after failover or a burst of affinity-skewed arrivals.
 
-        Moves are not free: each one is charged through the fleet's
-        :class:`~repro.fleet.migration.MigrationCostModel` (re-transmit
-        the offloaded input data, pay the handoff latency) and the
-        charge lands in the moved user's ledger.  With *cost_aware*
-        (the default) a move only happens when its modelled imbalance
-        gain exceeds that cost — the candidate moved is the busiest
-        server's best net-gain user, not blindly its most recent
-        admission; pass ``cost_aware=False`` for the unconditional
-        spread-flattening rebalancer (still charged, never gated).
-        Afterwards, any freed capacity is offered to degraded users via
-        :meth:`retry_degraded`.
+        Proactive (``proactive=True``): instead of reacting to the
+        spread the fleet *observes*, moves drain servers whose
+        utilisation the telemetry *forecasts* above
+        *utilisation_threshold* at *horizon* ticks out — the hotspot is
+        relieved before it materialises.  Requires the fleet to have
+        been built with a forecaster (the default); *tolerance* and
+        *cost_aware* do not apply.
+
+        Moves are not free in either mode: each one is charged through
+        the fleet's :class:`~repro.fleet.migration.MigrationCostModel`
+        (re-transmit the offloaded input data, pay the handoff latency)
+        and the charge lands in the moved user's ledger.  With
+        *cost_aware* (the reactive default) a move only happens when its
+        modelled imbalance gain exceeds that cost — the candidate moved
+        is the busiest server's best net-gain user, not blindly its most
+        recent admission; pass ``cost_aware=False`` for the
+        unconditional spread-flattening rebalancer (still charged, never
+        gated).  Afterwards, any freed capacity is offered to degraded
+        users via :meth:`retry_degraded`.
         """
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance}")
-        moves = 0
-        while max_moves is None or moves < max_moves:
-            move = self._next_rebalance_move(tolerance, cost_aware)
-            if move is None:
-                break
-            busiest, idlest, user_id = move
-            entry = busiest.evict(user_id)
-            idlest.admit(entry.device, entry.graph, entry.key, plan=entry.plan)
-            self._owner[user_id] = idlest.server_id
-            self.charge_migration(user_id)
-            self.metrics.gauge(f"fleet_users_{busiest.server_id}").set(busiest.users)
-            self.metrics.gauge(f"fleet_users_{idlest.server_id}").set(idlest.users)
-            self.metrics.counter("fleet_rebalanced").inc()
-            moves += 1
+        if proactive:
+            if self.telemetry is None:
+                raise ValueError(
+                    "proactive rebalancing needs telemetry; "
+                    "build the fleet with a forecaster"
+                )
+            if horizon < 1:
+                raise ValueError(f"horizon must be >= 1, got {horizon}")
+            moves = self._rebalance_proactive(
+                max_moves, horizon, utilisation_threshold
+            )
+        else:
+            moves = 0
+            while max_moves is None or moves < max_moves:
+                move = self._next_rebalance_move(tolerance, cost_aware)
+                if move is None:
+                    break
+                busiest, idlest, user_id = move
+                self._move_user(busiest, idlest, user_id)
+                moves += 1
         if self._degraded:
             self.retry_degraded()
+        self._record_tick()
         return moves
 
     def kill_server(self, server_id: str) -> list[tuple[MobileDevice, FunctionCallGraph]]:

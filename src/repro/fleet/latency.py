@@ -82,15 +82,18 @@ class StaticLatencyMap(LatencyMap):
         return self._server_rtt.get(server_id, self._default)
 
 
-def _hash_position(node_id: str) -> tuple[float, float]:
+def _hash_position(node_id: str, seed: int | None = None) -> tuple[float, float]:
     """Deterministic position on the unit square from the id's content.
 
     Uses sha256 (not ``hash()``, which is salted per process), so the
     placement is stable across runs and machines — the same determinism
     contract as the fingerprint ring in
-    :class:`~repro.fleet.routing.FingerprintAffinityRouting`.
+    :class:`~repro.fleet.routing.FingerprintAffinityRouting`.  A *seed*
+    salts the hash input, giving a different (but equally reproducible)
+    geography per seed; ``None`` preserves the legacy unsalted layout.
     """
-    digest = hashlib.sha256(node_id.encode("utf-8")).digest()
+    token = node_id if seed is None else f"{seed}:{node_id}"
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
     x = int.from_bytes(digest[:8], "big") / 2**64
     y = int.from_bytes(digest[8:16], "big") / 2**64
     return (x, y)
@@ -113,6 +116,7 @@ class GeoLatencyMap(LatencyMap):
         *,
         base_rtt: float = 0.0,
         seconds_per_unit: float = 0.1,
+        seed: int | None = None,
     ) -> None:
         if base_rtt < 0:
             raise ValueError(f"base_rtt must be >= 0, got {base_rtt}")
@@ -123,13 +127,14 @@ class GeoLatencyMap(LatencyMap):
         self._positions = dict(positions or {})
         self.base_rtt = base_rtt
         self.seconds_per_unit = seconds_per_unit
+        self.seed = seed
 
     def position(self, node_id: str) -> tuple[float, float]:
         """The id's position: explicit if configured, hash-derived otherwise."""
         explicit = self._positions.get(node_id)
         if explicit is not None:
             return explicit
-        return _hash_position(node_id)
+        return _hash_position(node_id, self.seed)
 
     def rtt(self, user_id: str, server_id: str) -> float:
         ux, uy = self.position(user_id)
@@ -142,9 +147,16 @@ LATENCY_MODELS = ("none", "geo")
 
 
 def make_latency_map(
-    name: str, *, base_rtt: float = 0.0, seconds_per_unit: float = 0.1
+    name: str,
+    *,
+    base_rtt: float = 0.0,
+    seconds_per_unit: float = 0.1,
+    seed: int | None = None,
 ) -> LatencyMap:
     """Build a latency map by registered name.
+
+    *seed* re-seeds the geo model's hash geography (``None`` keeps the
+    legacy unsalted layout); the other models ignore it.
 
     >>> make_latency_map("none").rtt("u", "s")
     0.0
@@ -152,7 +164,9 @@ def make_latency_map(
     if name == "none":
         return ZeroLatency()
     if name == "geo":
-        return GeoLatencyMap(base_rtt=base_rtt, seconds_per_unit=seconds_per_unit)
+        return GeoLatencyMap(
+            base_rtt=base_rtt, seconds_per_unit=seconds_per_unit, seed=seed
+        )
     raise ValueError(
         f"unknown latency model {name!r}; expected one of {list(LATENCY_MODELS)}"
     )

@@ -3,7 +3,7 @@
 A policy answers one question: *which server should admit this request?*
 It sees the request's content fingerprint (computed by the fleet with
 :func:`repro.service.fingerprint.request_fingerprint`) and a snapshot of
-every eligible server's load, and returns a server id.  Four standard
+every eligible server's load, and returns a server id.  Five standard
 disciplines are provided:
 
 * :class:`RoundRobinRouting` — cycle through servers in order; perfectly
@@ -18,6 +18,11 @@ disciplines are provided:
   request fingerprint, so structurally identical apps land on the same
   server and hit its plan cache; server removal only remaps the keys
   that lived on the removed server.
+* :class:`ForecastRouting` — join the server with the lowest
+  *forecasted* utilisation (:attr:`ServerLoad.predicted_utilisation`,
+  filled from the fleet's telemetry), steering arrivals away from
+  servers that are trending hot; falls back to current utilisation on
+  a cold fleet.
 
 The load-aware policies balance on a selectable metric
 (``balance_on="users"`` counts admitted users; ``"utilisation"`` ranks
@@ -69,6 +74,12 @@ class ServerLoad:
     :class:`~repro.fleet.latency.LatencyMap`; zero under the default
     single-site model.
     """
+
+    predicted_utilisation: float | None = None
+    """Forecasted utilisation a few ticks out, filled by the fleet from
+    its :class:`~repro.forecast.proactive.FleetTelemetry` when one is
+    attached; ``None`` when the fleet does not forecast (or the series
+    has no history yet).  Only :class:`ForecastRouting` consults it."""
 
     @property
     def utilisation(self) -> float:
@@ -213,6 +224,41 @@ class PowerOfTwoRouting(RoutingPolicy):
         return best.server_id
 
 
+class ForecastRouting(RoutingPolicy):
+    """Join the server with the lowest *forecasted* utilisation.
+
+    Where :class:`LeastLoadedRouting` balances on the load a server has
+    *now*, this policy balances on the load the fleet's telemetry
+    predicts it will have a few ticks out
+    (:attr:`ServerLoad.predicted_utilisation`), steering arrivals away
+    from servers that are still cool but trending hot.  Candidates
+    without a forecast fall back to their current utilisation, so the
+    policy degrades to utilisation-balanced JSQ on a cold fleet or a
+    fleet without telemetry.  A positive *latency_weight* folds each
+    candidate's RTT into the choice, as in the other load-aware
+    policies.
+    """
+
+    name = "forecast"
+
+    def __init__(self, latency_weight: float = 0.0) -> None:
+        self.latency_weight = latency_weight
+
+    def _key(self, load: ServerLoad) -> tuple[float, float, float, str]:
+        outlook = load.predicted_utilisation
+        if outlook is None:
+            outlook = load.utilisation
+        return (
+            outlook + self.latency_weight * load.rtt,
+            float(load.users),
+            load.remote_load,
+            load.server_id,
+        )
+
+    def route(self, key: str, servers: Sequence[ServerLoad]) -> str:
+        return min(servers, key=self._key).server_id
+
+
 def _ring_hash(value: str) -> int:
     """Stable 64-bit position on the hash ring."""
     return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
@@ -290,7 +336,7 @@ class FingerprintAffinityRouting(RoutingPolicy):
             self._rebuild(self._members - {server_id})
 
 
-ROUTING_POLICIES = ("affinity", "least-loaded", "power-of-two", "round-robin")
+ROUTING_POLICIES = ("affinity", "forecast", "least-loaded", "power-of-two", "round-robin")
 """Registered policy names, for CLIs and experiment sweeps."""
 
 
@@ -314,6 +360,8 @@ def make_routing_policy(
     """
     if name == "round-robin":
         return RoundRobinRouting()
+    if name == "forecast":
+        return ForecastRouting(latency_weight=latency_weight)
     if name == "least-loaded":
         return LeastLoadedRouting(balance_on=balance_on, latency_weight=latency_weight)
     if name == "power-of-two":

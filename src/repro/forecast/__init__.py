@@ -1,0 +1,66 @@
+"""Forecast-driven proactive orchestration with SLA admission.
+
+The planning stack (:mod:`repro.mec`) solves one admission instant; the
+fleet layer (:mod:`repro.fleet`) reacts to imbalance after it is
+observed.  This package adds the missing *temporal* dimension, in the
+spirit of Wang et al.'s online multi-component placement:
+
+* :mod:`repro.forecast.series` — bounded :class:`TimeSeries` histories,
+  registered in the service :class:`~repro.service.metrics.MetricsRegistry`;
+* :mod:`repro.forecast.forecaster` — naive / EWMA / least-squares AR(p)
+  forecasters with rolling MAE, and ``make_forecaster("auto")`` that
+  picks the best-scoring model per series;
+* :mod:`repro.forecast.sla` — per-user :class:`UserSLA` deadlines that
+  turn routing into constrained placement, and the :class:`SLAReport`
+  scorecard whose violation *rate* is a first-class benchmark column;
+* :mod:`repro.forecast.proactive` — :class:`FleetTelemetry`, the
+  recorded histories + forecasts behind
+  ``EdgeFleet.rebalance(proactive=True, horizon=h)``.
+
+The package is a leaf: it never imports :mod:`repro.fleet`, so the fleet
+can build on it without cycles.
+"""
+
+from repro.forecast.forecaster import (
+    FORECASTERS,
+    ARForecaster,
+    AutoForecaster,
+    EWMAForecaster,
+    Forecaster,
+    NaiveForecaster,
+    make_forecaster,
+)
+from repro.forecast.proactive import (
+    DEFAULT_UTILISATION_THRESHOLD,
+    FleetTelemetry,
+    HotspotForecast,
+    link_series_name,
+    utilisation_series_name,
+)
+from repro.forecast.series import TimeSeries
+from repro.forecast.sla import (
+    SLA_EPSILON,
+    SLA_INFEASIBLE_ACTIONS,
+    SLAReport,
+    UserSLA,
+)
+
+__all__ = [
+    "ARForecaster",
+    "AutoForecaster",
+    "DEFAULT_UTILISATION_THRESHOLD",
+    "EWMAForecaster",
+    "FORECASTERS",
+    "FleetTelemetry",
+    "Forecaster",
+    "HotspotForecast",
+    "NaiveForecaster",
+    "SLAReport",
+    "SLA_EPSILON",
+    "SLA_INFEASIBLE_ACTIONS",
+    "TimeSeries",
+    "UserSLA",
+    "link_series_name",
+    "make_forecaster",
+    "utilisation_series_name",
+]

@@ -1,0 +1,275 @@
+"""Lightweight time-series forecasters with rolling accuracy scores.
+
+The proactive fleet (see :mod:`repro.forecast.proactive`) needs horizon-
+``h`` predictions of per-server utilisation and per-link RTT.  Three
+models cover the traces edge telemetry actually produces, in the spirit
+of the ced-yxos orchestrator's latency predictor:
+
+* :class:`NaiveForecaster` — last value carried forward; the baseline
+  every other model must beat to earn its keep;
+* :class:`EWMAForecaster` — exponentially weighted moving average;
+  smooths white noise around a level, lags trends;
+* :class:`ARForecaster` — least-squares AR(p) with intercept, iterated
+  ``h`` steps ahead; extrapolates drift exactly and tracks short
+  periodic structure when ``p`` spans the period.
+
+Every forecaster keeps a *rolling mean absolute error* of its one-step
+predictions (:attr:`Forecaster.mae`): on each :meth:`observe` the model
+first predicts the incoming value from what it has seen, then scores
+itself against the truth.  :func:`make_forecaster` with ``"auto"``
+builds an :class:`AutoForecaster` that feeds all three candidates and
+delegates to whichever currently has the lowest MAE — per series, so a
+drifting utilisation curve gets AR while a noisy RTT gets EWMA.
+
+All models are deterministic functions of the observation sequence: no
+RNG, no clocks (the package is covered by the determinism lint rules,
+like the planning packages).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import deque
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+FORECASTERS = ("naive", "ewma", "ar", "auto")
+"""Registered forecaster names, for CLIs and experiment sweeps."""
+
+_DEFAULT_WINDOW = 64
+_DEFAULT_SCORE_WINDOW = 32
+
+
+@runtime_checkable
+class Forecaster(Protocol):
+    """One model bound to one series: observe values, predict ahead."""
+
+    name: str
+
+    def observe(self, value: float) -> None:
+        """Record one observation (scoring the previous prediction)."""
+        ...  # pragma: no cover - protocol
+
+    def predict(self, horizon: int = 1) -> float:
+        """Predict the value *horizon* ticks ahead of the last observation."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def mae(self) -> float:
+        """Rolling one-step mean absolute error (``inf`` until scored)."""
+        ...  # pragma: no cover - protocol
+
+
+class _ScoredForecaster(abc.ABC):
+    """History ring + rolling one-step-MAE bookkeeping shared by models."""
+
+    name = "base"
+
+    def __init__(
+        self, window: int = _DEFAULT_WINDOW, score_window: int = _DEFAULT_SCORE_WINDOW
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if score_window < 1:
+            raise ValueError(f"score_window must be >= 1, got {score_window}")
+        self._history: deque[float] = deque(maxlen=window)
+        self._errors: deque[float] = deque(maxlen=score_window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self._history:
+            self._errors.append(abs(self.predict(1) - value))
+        self._history.append(value)
+        self._update(value)
+
+    def _update(self, value: float) -> None:
+        """Model-state hook, called after *value* joins the history."""
+
+    @property
+    def mae(self) -> float:
+        if not self._errors:
+            return math.inf
+        return sum(self._errors) / len(self._errors)
+
+    @property
+    def observations(self) -> int:
+        return len(self._history)
+
+    @staticmethod
+    def _check_horizon(horizon: int) -> int:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return horizon
+
+    @abc.abstractmethod
+    def predict(self, horizon: int = 1) -> float:
+        """Predict *horizon* ticks ahead (0.0 before any observation)."""
+
+
+class NaiveForecaster(_ScoredForecaster):
+    """Last value carried forward — the persistence baseline."""
+
+    name = "naive"
+
+    def predict(self, horizon: int = 1) -> float:
+        self._check_horizon(horizon)
+        return self._history[-1] if self._history else 0.0
+
+
+class EWMAForecaster(_ScoredForecaster):
+    """Exponentially weighted moving average (flat across the horizon)."""
+
+    name = "ewma"
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        window: int = _DEFAULT_WINDOW,
+        score_window: int = _DEFAULT_SCORE_WINDOW,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        super().__init__(window=window, score_window=score_window)
+        self.alpha = alpha
+        self._level: float | None = None
+
+    def _update(self, value: float) -> None:
+        if self._level is None:
+            self._level = value
+        else:
+            self._level = self.alpha * value + (1.0 - self.alpha) * self._level
+
+    def predict(self, horizon: int = 1) -> float:
+        self._check_horizon(horizon)
+        return self._level if self._level is not None else 0.0
+
+
+class ARForecaster(_ScoredForecaster):
+    """Least-squares AR(p) with intercept, iterated *horizon* steps.
+
+    The model ``x_t = c + a_1 x_{t-p} + ... + a_p x_{t-1}`` is refit on
+    the retained window at every prediction (the windows are tiny, so a
+    dense least-squares solve is cheaper than incremental updates would
+    be to maintain correctly).  A linear drift is fit *exactly* by
+    AR(1)+intercept, which is what makes this model beat EWMA on
+    trending utilisation; until ``order + 2`` observations exist the
+    forecast falls back to persistence.
+    """
+
+    name = "ar"
+
+    def __init__(
+        self,
+        order: int = 2,
+        window: int = _DEFAULT_WINDOW,
+        score_window: int = _DEFAULT_SCORE_WINDOW,
+    ) -> None:
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if window < order + 2:
+            raise ValueError(
+                f"window must be >= order + 2 ({order + 2}), got {window}"
+            )
+        super().__init__(window=window, score_window=score_window)
+        self.order = order
+
+    def predict(self, horizon: int = 1) -> float:
+        self._check_horizon(horizon)
+        history = list(self._history)
+        if len(history) < self.order + 2:
+            return history[-1] if history else 0.0
+        p = self.order
+        design = np.asarray(
+            [[1.0, *history[t - p : t]] for t in range(p, len(history))],
+            dtype=float,
+        )
+        targets = np.asarray(history[p:], dtype=float)
+        coef, _, _, _ = np.linalg.lstsq(design, targets, rcond=None)
+        lags = history[-p:]
+        prediction = history[-1]
+        for _ in range(horizon):
+            prediction = float(
+                coef[0] + sum(c * v for c, v in zip(coef[1:], lags, strict=True))
+            )
+            if not math.isfinite(prediction):
+                return history[-1]
+            lags = [*lags[1:], prediction]
+        return prediction
+
+
+class AutoForecaster:
+    """Score naive/EWMA/AR on the live series; delegate to the best.
+
+    Every observation feeds all three candidates (each scores its own
+    one-step prediction first), and :meth:`predict` delegates to the
+    candidate with the lowest rolling MAE.  Ties — including the cold
+    start, when every MAE is still ``inf`` — resolve in candidate order
+    (naive, ewma, ar), so the persistence baseline answers until a model
+    earns the job with evidence.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        order: int = 2,
+        window: int = _DEFAULT_WINDOW,
+        score_window: int = _DEFAULT_SCORE_WINDOW,
+    ) -> None:
+        self.candidates: tuple[_ScoredForecaster, ...] = (
+            NaiveForecaster(window=window, score_window=score_window),
+            EWMAForecaster(alpha=alpha, window=window, score_window=score_window),
+            ARForecaster(order=order, window=window, score_window=score_window),
+        )
+
+    @property
+    def best(self) -> _ScoredForecaster:
+        """The currently lowest-MAE candidate (ties by candidate order)."""
+        return min(
+            enumerate(self.candidates), key=lambda pair: (pair[1].mae, pair[0])
+        )[1]
+
+    def observe(self, value: float) -> None:
+        for candidate in self.candidates:
+            candidate.observe(value)
+
+    def predict(self, horizon: int = 1) -> float:
+        return self.best.predict(horizon)
+
+    @property
+    def mae(self) -> float:
+        return self.best.mae
+
+
+def make_forecaster(
+    name: str,
+    *,
+    alpha: float = 0.3,
+    order: int = 2,
+    window: int = _DEFAULT_WINDOW,
+    score_window: int = _DEFAULT_SCORE_WINDOW,
+) -> Forecaster:
+    """Build a forecaster by registered name.
+
+    Options irrelevant to the chosen model are ignored, so sweeps can
+    pass one option set to every name.
+
+    >>> make_forecaster("naive").name
+    'naive'
+    """
+    if name == "naive":
+        return NaiveForecaster(window=window, score_window=score_window)
+    if name == "ewma":
+        return EWMAForecaster(alpha=alpha, window=window, score_window=score_window)
+    if name == "ar":
+        return ARForecaster(order=order, window=window, score_window=score_window)
+    if name == "auto":
+        return AutoForecaster(
+            alpha=alpha, order=order, window=window, score_window=score_window
+        )
+    raise ValueError(
+        f"unknown forecaster {name!r}; expected one of {list(FORECASTERS)}"
+    )

@@ -1,0 +1,157 @@
+"""Fleet telemetry: recorded histories + forecasts behind proactive moves.
+
+The reactive rebalancer (:meth:`repro.fleet.fleet.EdgeFleet.rebalance`)
+fires only after an imbalance is *observed*; by then the hotspot's users
+have already been paying inflated waiting times.  Proactive
+orchestration inverts that: the fleet records per-server utilisation and
+per-(user, server) link RTT into bounded :class:`~repro.forecast.series.
+TimeSeries` on every admission/rebalance tick, one
+:class:`~repro.forecast.forecaster.Forecaster` per series scores itself
+as the history grows, and ``rebalance(proactive=True, horizon=h)`` moves
+users off servers whose *forecasted* utilisation (or link RTT) breaches
+a threshold ``h`` ticks out — before the hotspot materialises, every
+move still priced through the fleet's
+:class:`~repro.fleet.migration.MigrationCostModel`.
+
+:class:`FleetTelemetry` owns the series/forecaster bookkeeping and is
+deliberately fleet-agnostic: it records what it is told and answers
+predictions, so tests can drive it with synthetic traces.  Series are
+registered in the fleet's :class:`~repro.service.metrics.MetricsRegistry`
+so histories show up in the standard metrics report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.forecast.forecaster import Forecaster, make_forecaster
+from repro.forecast.series import TimeSeries
+from repro.service.metrics import MetricsRegistry
+
+DEFAULT_UTILISATION_THRESHOLD = 0.8
+"""Forecasted utilisation above this marks a server as a predicted
+hotspot (the proactive rebalancer's default trigger)."""
+
+
+def utilisation_series_name(server_id: str) -> str:
+    """Registry name of one server's utilisation history."""
+    return f"fleet_util_{server_id}"
+
+
+def link_series_name(user_id: str, server_id: str) -> str:
+    """Registry name of one (user, server) link's RTT history."""
+    return f"fleet_rtt_{user_id}@{server_id}"
+
+
+@dataclass(frozen=True)
+class HotspotForecast:
+    """One server's predicted utilisation against the breach threshold."""
+
+    server_id: str
+    predicted: float
+    threshold: float
+
+    @property
+    def breach(self) -> bool:
+        return self.predicted > self.threshold
+
+
+class FleetTelemetry:
+    """Per-series histories and forecasters for one fleet.
+
+    One :class:`TimeSeries` (in *metrics*) and one forecaster (built by
+    :func:`~repro.forecast.forecaster.make_forecaster` from
+    *forecaster*) per recorded signal.  ``"auto"`` picks the
+    lowest-rolling-MAE model *per series*; the default ``"ewma"`` keeps
+    per-tick recording O(1) per signal for fleets that never forecast.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        forecaster: str = "ewma",
+        window: int = 128,
+    ) -> None:
+        # Validate the forecaster name eagerly: a typo should fail at
+        # fleet construction, not on the first recorded tick.
+        make_forecaster(forecaster)
+        self.metrics = metrics
+        self.forecaster_name = forecaster
+        self.window = window
+        self._forecasters: dict[str, Forecaster] = {}
+
+    def _forecaster_for(self, series_name: str) -> Forecaster:
+        forecaster = self._forecasters.get(series_name)
+        if forecaster is None:
+            forecaster = make_forecaster(self.forecaster_name)
+            self._forecasters[series_name] = forecaster
+        return forecaster
+
+    def _record(self, series_name: str, value: float) -> TimeSeries:
+        series = self.metrics.series(series_name, window=self.window)
+        series.record(value)
+        self._forecaster_for(series_name).observe(value)
+        return series
+
+    def _predict(self, series_name: str, horizon: int) -> float | None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        series = self.metrics.series(series_name, window=self.window)
+        if len(series) == 0:
+            return None
+        return self._forecaster_for(series_name).predict(horizon)
+
+    # ------------------------------------------------------------------
+    # Recording (one call per signal per tick)
+    # ------------------------------------------------------------------
+    def record_server(self, server_id: str, utilisation: float) -> None:
+        """Record one server's utilisation sample for this tick."""
+        self._record(utilisation_series_name(server_id), utilisation)
+
+    def record_link(self, user_id: str, server_id: str, rtt: float) -> None:
+        """Record one (user, server) link RTT sample for this tick."""
+        self._record(link_series_name(user_id, server_id), rtt)
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def predict_utilisation(self, server_id: str, horizon: int = 1) -> float | None:
+        """Forecasted utilisation *horizon* ticks out (None = no history)."""
+        return self._predict(utilisation_series_name(server_id), horizon)
+
+    def predict_rtt(
+        self, user_id: str, server_id: str, horizon: int = 1
+    ) -> float | None:
+        """Forecasted link RTT *horizon* ticks out (None = no history)."""
+        return self._predict(link_series_name(user_id, server_id), horizon)
+
+    def mae(self, series_name: str) -> float:
+        """Rolling one-step MAE of the series' forecaster (inf = unscored)."""
+        forecaster = self._forecasters.get(series_name)
+        if forecaster is None:
+            return float("inf")
+        return forecaster.mae
+
+    def hotspots(
+        self,
+        server_utilisations: dict[str, float],
+        horizon: int,
+        threshold: float = DEFAULT_UTILISATION_THRESHOLD,
+    ) -> list[HotspotForecast]:
+        """Forecast every server against *threshold*, breaches first.
+
+        *server_utilisations* supplies each server's *current*
+        utilisation as the fallback when a series has no history yet
+        (a cold fleet degrades gracefully to reactive behaviour).
+        Sorted hottest-first, ties by server id, so callers relieve the
+        worst predicted hotspot first and deterministically.
+        """
+        forecasts = []
+        for server_id in sorted(server_utilisations):
+            predicted = self.predict_utilisation(server_id, horizon)
+            if predicted is None:
+                predicted = server_utilisations[server_id]
+            forecasts.append(
+                HotspotForecast(server_id, max(predicted, 0.0), threshold)
+            )
+        return sorted(forecasts, key=lambda f: (-f.predicted, f.server_id))

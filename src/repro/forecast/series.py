@@ -1,0 +1,65 @@
+"""Bounded time-series primitive for fleet telemetry.
+
+The fleet's proactive orchestration (see :mod:`repro.forecast.proactive`)
+plans from *histories*, not snapshots: per-server utilisation and
+per-(user, server) link RTT sampled on every admission/rebalance tick.
+:class:`TimeSeries` is the storage primitive — a bounded ring buffer of
+float samples with the same thread-safety and boundedness conventions as
+the service metrics (:mod:`repro.service.metrics`): a long-lived fleet
+can never grow a series without bound, and readers get consistent
+snapshots under the lock.
+
+Series are created through :meth:`repro.service.metrics.MetricsRegistry.series`
+(get-or-create by name, like counters and histograms), so telemetry
+shows up in the same metrics report as everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class TimeSeries:
+    """Bounded ring buffer of float samples (most recent ``window`` kept).
+
+    The tick index is implicit: sample ``k`` of :meth:`values` is the
+    ``k``-th oldest retained observation.  :attr:`count` tracks the total
+    ever recorded, so callers can tell a short history from a wrapped
+    one.
+    """
+
+    def __init__(self, name: str, window: int = 512) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.name = name
+        self.window = window
+        self._values: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Append one observation (evicting the oldest past the window)."""
+        with self._lock:
+            self._values.append(float(value))
+            self._count += 1
+
+    def values(self) -> list[float]:
+        """Snapshot of the retained window, oldest first."""
+        with self._lock:
+            return list(self._values)
+
+    @property
+    def last(self) -> float | None:
+        """The most recent observation, or ``None`` if empty."""
+        with self._lock:
+            return self._values[-1] if self._values else None
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not just the window)."""
+        return self._count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)

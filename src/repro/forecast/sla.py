@@ -1,0 +1,91 @@
+"""Per-user service-level agreements for constrained fleet placement.
+
+The paper minimises the *aggregate* ``E + T``; nothing stops one user's
+completion time from being arbitrarily bad as long as the sum is small.
+A :class:`UserSLA` attaches a hard per-user budget at admission
+(:meth:`repro.fleet.fleet.EdgeFleet.admit`), turning routing into
+constrained placement: candidate servers whose modelled per-user cost —
+the user's hypothetical ``E + T`` on that server's deployment plus the
+link RTT, evaluated through the same shared helper cost-aware
+rebalancing uses (:mod:`repro.fleet.modelled`) — would exceed the
+deadline are filtered out before the routing policy chooses.  When *no*
+server is feasible the user degrades to all-local execution (still
+queued for :meth:`~repro.fleet.fleet.EdgeFleet.retry_degraded`) or is
+rejected outright, per :attr:`UserSLA.on_infeasible`.
+
+:class:`SLAReport` is the point-in-time scorecard: violations are
+recomputed from the fleet's *current* ledger (including link RTT and
+accumulated migration debt), so a rebalance pass can genuinely lower —
+or raise — the violation rate, which is exactly what the proactive-vs-
+reactive benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SLA_EPSILON = 1e-9
+"""Slack for deadline comparisons: a deadline *exactly equal* to the
+modelled cost admits (the constraint is ``cost <= deadline``, and float
+evaluation noise must not flip an exact-boundary admission)."""
+
+SLA_INFEASIBLE_ACTIONS = ("degrade", "reject")
+"""Valid ``on_infeasible`` values for :class:`UserSLA`."""
+
+
+@dataclass(frozen=True)
+class UserSLA:
+    """One user's admission-time service-level agreement.
+
+    *deadline* budgets the user's modelled cost in the planner's
+    scalarised ``E + T`` currency (:class:`~repro.mec.objective.
+    ObjectiveWeights`), with the link RTT folded into the time term the
+    same way fleet accounting folds it — so the admission check, the
+    violation report, and ``total_consumption()`` all speak one unit.
+    """
+
+    deadline: float
+    on_infeasible: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.on_infeasible not in SLA_INFEASIBLE_ACTIONS:
+            raise ValueError(
+                f"unknown on_infeasible action {self.on_infeasible!r}; "
+                f"expected one of {list(SLA_INFEASIBLE_ACTIONS)}"
+            )
+
+    def satisfied_by(self, modelled_cost: float) -> bool:
+        """Whether *modelled_cost* meets the deadline (boundary admits)."""
+        return modelled_cost <= self.deadline + SLA_EPSILON
+
+    def violated_by(self, modelled_cost: float) -> bool:
+        """Whether *modelled_cost* breaches the deadline."""
+        return not self.satisfied_by(modelled_cost)
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """Point-in-time SLA scorecard for one fleet.
+
+    *users* counts every user currently carrying an SLA (admitted or
+    degraded); *violations* counts those whose current modelled cost in
+    the fleet ledger breaches their deadline; *rejections* counts users
+    turned away at admission under ``on_infeasible="reject"`` (they are
+    not in *users* — they never entered the fleet).
+    """
+
+    users: int
+    violations: int
+    rejections: int
+    degraded: int
+    worst_excess: float = 0.0
+    """Largest ``cost - deadline`` among violators (0.0 when none)."""
+
+    @property
+    def violation_rate(self) -> float:
+        """``violations / users`` — the first-class benchmark column."""
+        if self.users == 0:
+            return 0.0
+        return self.violations / self.users

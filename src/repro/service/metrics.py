@@ -13,6 +13,10 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.forecast.series import TimeSeries
 
 
 class Counter:
@@ -112,6 +116,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, "TimeSeries"] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -132,13 +137,34 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name, window=window)
             return self._histograms[name]
 
+    def series(self, name: str, window: int = 512) -> "TimeSeries":
+        """Get-or-create a bounded :class:`~repro.forecast.series.TimeSeries`.
+
+        Unlike a histogram, a series keeps *ordered* samples — the raw
+        material the fleet's forecasters extrapolate from (see
+        :mod:`repro.forecast`).  Imported lazily: the registry must not
+        drag the forecast package into every service import.
+        """
+        from repro.forecast.series import TimeSeries
+
+        with self._lock:
+            if name not in self._series:
+                self._series[name] = TimeSeries(name, window=window)
+            return self._series[name]
+
     def snapshot(self) -> dict[str, dict[str, float]]:
         """All metric values as plain data (for tests and JSON output)."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        data: dict[str, dict[str, float]] = {"counters": {}, "gauges": {}, "histograms": {}}
+            series = dict(self._series)
+        data: dict[str, dict[str, float]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "series": {},
+        }
         for name, counter in sorted(counters.items()):
             data["counters"][name] = counter.value
         for name, gauge in sorted(gauges.items()):
@@ -150,6 +176,14 @@ class MetricsRegistry:
                 "p50": hist.percentile(0.50),
                 "p95": hist.percentile(0.95),
                 "p99": hist.percentile(0.99),
+            }
+        for name, one_series in sorted(series.items()):
+            values = one_series.values()
+            data["series"][name] = {
+                "count": one_series.count,
+                "window": len(values),
+                "last": values[-1] if values else 0.0,
+                "mean": sum(values) / len(values) if values else 0.0,
             }
         return data
 
@@ -172,6 +206,17 @@ class MetricsRegistry:
                     f"{stats['mean']:.6f}",
                     f"{stats['p50']:.6f}",
                     f"{stats['p99']:.6f}",
+                ]
+            )
+        for name, stats in snap["series"].items():
+            rows.append(
+                [
+                    name,
+                    "series",
+                    stats["count"],
+                    f"{stats['mean']:.6f}",
+                    f"{stats['last']:.6f}",
+                    "",
                 ]
             )
         return render_table(["metric", "kind", "count/value", "mean", "p50", "p99"], rows)

@@ -135,6 +135,18 @@ class PlanCache:
             self._hits += 1
             return plan
 
+    def peek(self, key: str) -> UserPlan | None:
+        """Return the cached plan for *key* without touching LRU order
+        or hit/miss counters.
+
+        Speculative lookups — SLA feasibility pre-planning asking "is a
+        plan already known somewhere?" before the admission proper runs
+        — must not distort recency or hit-rate statistics, which model
+        *requests*, not probes.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: str, plan: UserPlan) -> None:
         """Insert (or refresh) *plan* under *key*, evicting the LRU entry."""
         with self._lock:
