@@ -33,6 +33,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.spectral",
     "repro.mec",
     "repro.forecast",
+    "repro.mobility",
 )
 """Packages whose outputs feed caches, fingerprints, or plan decisions."""
 

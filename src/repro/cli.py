@@ -182,6 +182,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="geo model: RTT seconds per unit of distance on the unit square",
     )
     fleet.add_argument(
+        "--mobility", choices=["corridor", "waypoint"], default=None,
+        help="compare handover policies instead of routing policies: move "
+             "users per tick under this mobility model and sweep "
+             "speed x handover on E+T and migration debt",
+    )
+    fleet.add_argument(
+        "--speed", nargs="*", type=float, default=None, metavar="SPEED",
+        help="mobility sweep: user speeds in unit-square units per second "
+             "(default: 0.02 0.08)",
+    )
+    fleet.add_argument(
+        "--handover", nargs="*", default=None, metavar="POLICY",
+        help="handover policies to compare (never / nearest / predictive; "
+             "'nearest:0.5' overrides the hysteresis for that arm; "
+             "default: all registered)",
+    )
+    fleet.add_argument(
+        "--hysteresis", type=float, default=0.1,
+        help="nearest handover: RTT-gap margin a move must beat",
+    )
+    fleet.add_argument(
+        "--ticks", type=int, default=24,
+        help="mobility sweep: fleet ticks per (speed, handover) cell",
+    )
+    fleet.add_argument(
         "--rebalance", choices=["off", "free", "cost-aware", "proactive"],
         default="off",
         help="post-replay rebalancing pass: 'free' flattens unconditionally, "
@@ -585,6 +610,78 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_mobility_bench(args: argparse.Namespace, profile) -> int:
+    """``fleet-bench --mobility``: speed x handover sweep over a moving fleet."""
+    from repro.experiments.fleet import run_fleet_mobility_experiment
+    from repro.fleet.migration import MigrationCostModel
+    from repro.mobility import HANDOVER_POLICIES
+
+    handovers = args.handover or list(HANDOVER_POLICIES)
+    unknown = sorted(
+        {spec.partition(":")[0] for spec in handovers} - set(HANDOVER_POLICIES)
+    )
+    if unknown:
+        print(
+            f"error: unknown handover policies {unknown}; "
+            f"expected from {list(HANDOVER_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    speeds = tuple(args.speed) if args.speed else (0.02, 0.08)
+    comparison = run_fleet_mobility_experiment(
+        n_users=args.requests,
+        n_servers=args.servers,
+        profile=profile,
+        mobility=args.mobility,
+        speeds=speeds,
+        handovers=handovers,
+        ticks=args.ticks,
+        hysteresis=args.hysteresis,
+        horizon=args.horizon,
+        rtt_scale=args.rtt_scale,
+        strategy=args.strategy,
+        rate=args.rate,
+        seed=args.seed,
+        migration=MigrationCostModel(handoff_latency=args.handoff_latency),
+        forecaster=args.forecaster,
+    )
+    print(
+        f"fleet-bench --mobility {args.mobility}: {args.requests} users, "
+        f"{args.servers} stations, {args.ticks} ticks per cell"
+    )
+    print(
+        render_table(
+            ["handover", "speed", "users", "moves", "mean rtt",
+             "migration", "E", "T", "E+T", "mean E+T"],
+            [
+                [
+                    row.handover,
+                    f"{row.speed:g}",
+                    row.users,
+                    row.handovers,
+                    f"{row.mean_rtt:.3f}",
+                    f"{row.migration_cost:.2f}",
+                    f"{row.energy:.2f}",
+                    f"{row.time:.2f}",
+                    f"{row.combined:.2f}",
+                    f"{row.mean_combined:.2f}",
+                ]
+                for row in comparison.rows
+            ],
+        )
+    )
+    for speed in comparison.speeds:
+        best = min(
+            (row for row in comparison.rows if row.speed == speed),
+            key=lambda row: row.mean_combined,
+        )
+        print(
+            f"speed {speed:g}: best handover policy {best.handover!r} "
+            f"(mean E+T {best.mean_combined:.2f}, {best.handovers} moves)"
+        )
+    return 0
+
+
 def cmd_fleet_bench(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -614,6 +711,8 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
         multiuser_graph_size=args.graph_size,
         seed=2019 + args.seed,
     )
+    if args.mobility:
+        return _fleet_mobility_bench(args, profile)
     from repro.utils.timer import Stopwatch
 
     executors = ["thread", "process"] if args.executor == "both" else [args.executor]

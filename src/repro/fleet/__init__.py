@@ -47,6 +47,7 @@ from repro.fleet.fleet import (
     FleetAdmission,
     FleetServer,
     FleetStats,
+    TickReport,
     all_local_breakdown,
 )
 from repro.fleet.latency import (
@@ -99,6 +100,7 @@ __all__ = [
     "FleetServer",
     "FleetAdmission",
     "FleetStats",
+    "TickReport",
     "all_local_breakdown",
     "hypothetical_consumption",
     "hypothetical_remote_parts",

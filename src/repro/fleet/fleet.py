@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.config import PlannerConfig
     from repro.core.results import CutStrategy, UserPlan
     from repro.mec.objective import ObjectiveWeights
+    from repro.mobility.handover import HandoverDecision, HandoverPolicy
     from repro.service.executor import PlanningBackend
 
 
@@ -264,6 +265,27 @@ class FleetServer:
 
 
 @dataclass
+class TickReport:
+    """Outcome of one :meth:`EdgeFleet.tick`: who handed over, at what price."""
+
+    tick: int
+    """The fleet's tick counter after this tick ran (1-based)."""
+
+    dt: float
+    """Simulated seconds the mobility field advanced by."""
+
+    handovers: list["HandoverDecision"] = field(default_factory=list)
+    """Executed handovers, in the (sorted-user) order they ran."""
+
+    migration_cost: float = 0.0
+    """Combined ``E + T`` charged into migration debt by this tick's moves."""
+
+    @property
+    def moves(self) -> int:
+        return len(self.handovers)
+
+
+@dataclass
 class FleetStats:
     """Point-in-time fleet counters (see :meth:`EdgeFleet.stats`)."""
 
@@ -320,11 +342,18 @@ class EdgeFleet:
     feasible and keeps fleet totals finite.  Degraded users are retained
     and re-admitted by :meth:`retry_degraded` once capacity frees.
 
-    *migration* prices every user move (rebalance and failover replays)
-    as re-transmission of the offloaded input data plus a handoff
-    latency; the charges accumulate per user and surface in
-    :meth:`total_consumption`.  Pass ``MigrationCostModel.free()`` to
-    restore the legacy moves-are-free accounting.
+    *migration* prices every user move (rebalance, failover and
+    handover replays) as re-transmission of the offloaded input data
+    plus a handoff latency; the charges accumulate per user and surface
+    in :meth:`total_consumption`.  Pass ``MigrationCostModel.free()``
+    to restore the legacy moves-are-free accounting.
+
+    Users move, too: with a time-varying *latency* map (a
+    :class:`~repro.mobility.latency.MobileLatencyMap`) and a *handover*
+    policy (:mod:`repro.mobility.handover`), :meth:`tick` advances
+    simulated time — positions drift, every link's RTT is re-measured
+    into the telemetry series, and the policy decides per user whether
+    the worsening link is worth a priced handover.
     """
 
     def __init__(
@@ -345,6 +374,7 @@ class EdgeFleet:
         latency: LatencyMap | None = None,
         migration: MigrationCostModel | None = None,
         forecaster: str | None = "ewma",
+        handover: "HandoverPolicy | None" = None,
     ) -> None:
         from repro.core.baselines import make_planner
 
@@ -380,6 +410,8 @@ class EdgeFleet:
         self.max_users_per_server = max_users_per_server
         self.latency = latency or ZeroLatency()
         self.migration = migration or MigrationCostModel()
+        self.handover = handover
+        self._ticks = 0
         self.telemetry: FleetTelemetry | None = (
             FleetTelemetry(self.metrics, forecaster) if forecaster is not None else None
         )
@@ -761,6 +793,100 @@ class EdgeFleet:
                 )
 
     # ------------------------------------------------------------------
+    # Mobility: the simulated-time loop
+    # ------------------------------------------------------------------
+    def _run_handovers(self) -> "tuple[list[HandoverDecision], float]":
+        """Offer every admitted user a handover; execute accepted ones.
+
+        Users are visited in sorted-id order (determinism over dict
+        history).  Users whose placement offloads nothing are skipped:
+        they use no link (their RTT never enters the ledger — see
+        :meth:`total_consumption`), so a handover could only cost and
+        never help.  Each remaining user sees its current link plus
+        every *eligible* alternative — ``max_users_per_server`` binds
+        handover targets exactly as it binds admission and rebalance
+        targets — and the fleet's :attr:`handover` policy picks a
+        destination or declines.  Accepted moves replay the user's
+        recorded plan on the new server and are charged through
+        :meth:`charge_migration`, identically to rebalance moves:
+        switching base stations re-transmits the offloaded state and
+        pays the handoff latency.
+        """
+        from repro.mobility.handover import HandoverDecision
+
+        policy = self.handover
+        if policy is None:  # pragma: no cover - tick() guards
+            return [], 0.0
+        weights = self.config.objective
+        cap = self.max_users_per_server
+        decisions: list[HandoverDecision] = []
+        charged = 0.0
+        for user_id in sorted(self._owner):
+            src_id = self._owner[user_id]
+            src = self.servers[src_id]
+            app, remote = src.placement_of(user_id)
+            if app.remote_weight(remote) <= 0 and app.cut_weight(remote) <= 0:
+                continue
+            rtts = {src_id: self.latency.rtt(user_id, src_id)}
+            for server in self.servers.values():
+                if server is src or (cap is not None and server.users >= cap):
+                    continue
+                rtts[server.server_id] = self.latency.rtt(user_id, server.server_id)
+            target = policy.target(user_id, src_id, rtts, self.telemetry)
+            if target is None or target == src_id or target not in rtts:
+                continue
+            cost = self._move_user(src, self.servers[target], user_id)
+            charged += cost.combined(weights)
+            self.metrics.counter("fleet_handovers").inc()
+            decisions.append(
+                HandoverDecision(
+                    user_id=user_id,
+                    source=src_id,
+                    target=target,
+                    rtt_before=rtts[src_id],
+                    rtt_after=rtts[target],
+                    tick=self._ticks,
+                )
+            )
+        return decisions, charged
+
+    def tick(self, dt: float = 1.0) -> TickReport:
+        """Advance simulated time by *dt*: move users, re-measure, hand over.
+
+        One tick (i) advances the latency map when it is time-varying —
+        a :class:`~repro.mobility.latency.MobileLatencyMap` exposes
+        ``advance(dt)``; static maps have no such method and simply
+        stand still — (ii) records the post-move RTT of every owned
+        link into the existing ``fleet_rtt_*`` telemetry series (and
+        every server's utilisation), so forecasters extrapolate from
+        live positions, and (iii) runs the fleet's
+        :class:`~repro.mobility.handover.HandoverPolicy`, if one is
+        configured, over every admitted user.  Executed handovers are
+        priced through the :class:`~repro.fleet.migration.
+        MigrationCostModel` and charged into the user's migration debt,
+        exactly like rebalance moves; the report totals the charge.
+
+        The loop is deterministic: with seeded mobility models the same
+        seed replays the same positions, the same RTTs, and therefore
+        the same handover sequence, tick for tick.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        advance = getattr(self.latency, "advance", None)
+        if advance is not None:
+            advance(dt)
+        self._ticks += 1
+        self._record_tick()
+        decisions: "list[HandoverDecision]" = []
+        charged = 0.0
+        if self.handover is not None:
+            decisions, charged = self._run_handovers()
+        self.metrics.counter("fleet_ticks").inc()
+        return TickReport(
+            tick=self._ticks, dt=dt, handovers=decisions, migration_cost=charged
+        )
+
+    # ------------------------------------------------------------------
     # Rebalancing and failover hooks
     # ------------------------------------------------------------------
     def charge_migration(self, user_id: str) -> MigrationCost:
@@ -849,15 +975,16 @@ class EdgeFleet:
             return None
         return busiest, idlest, best_user
 
-    def _move_user(self, src: FleetServer, dst: FleetServer, user_id: str) -> None:
-        """Replay *user_id* from *src* onto *dst* and charge the move."""
+    def _move_user(self, src: FleetServer, dst: FleetServer, user_id: str) -> MigrationCost:
+        """Replay *user_id* from *src* onto *dst*; charge and return the cost."""
         entry = src.evict(user_id)
         dst.admit(entry.device, entry.graph, entry.key, plan=entry.plan)
         self._owner[user_id] = dst.server_id
-        self.charge_migration(user_id)
+        cost = self.charge_migration(user_id)
         self.metrics.gauge(f"fleet_users_{src.server_id}").set(src.users)
         self.metrics.gauge(f"fleet_users_{dst.server_id}").set(dst.users)
         self.metrics.counter("fleet_rebalanced").inc()
+        return cost
 
     def _best_proactive_move(
         self, src: FleetServer, predicted: dict[str, float], threshold: float

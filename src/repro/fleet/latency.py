@@ -71,9 +71,22 @@ class StaticLatencyMap(LatencyMap):
         self._pairs = dict(pairs or {})
         self._server_rtt = dict(server_rtt or {})
         self._default = default
-        for key, value in {**self._server_rtt, **{k[1]: v for k, v in self._pairs.items()}}.items():
+        # Validate each table entry-by-entry.  Merging the two tables
+        # into one dict keyed by server id (the old approach) let a
+        # negative (user, server) pair RTT hide behind any other entry
+        # sharing that server id, because the merge kept only one value
+        # per server.
+        for server_id, value in self._server_rtt.items():
             if value < 0:
-                raise ValueError(f"RTT for {key!r} must be >= 0, got {value}")
+                raise ValueError(
+                    f"RTT for server {server_id!r} must be >= 0, got {value}"
+                )
+        for (user_id, server_id), value in self._pairs.items():
+            if value < 0:
+                raise ValueError(
+                    f"RTT for pair ({user_id!r}, {server_id!r}) must be >= 0, "
+                    f"got {value}"
+                )
 
     def rtt(self, user_id: str, server_id: str) -> float:
         pair = self._pairs.get((user_id, server_id))

@@ -1,0 +1,73 @@
+"""User mobility: time-varying latency and handover orchestration.
+
+Everything below the fleet models a *static* network: the paper fixes
+each user to one link to a single server ``S``, and even the fleet's
+:class:`~repro.fleet.latency.GeoLatencyMap` freezes every id at a hashed
+position.  This package adds the missing motion, in the spirit of
+vehicular edge offloading (re-pick the nearest base station as you
+drive) and online placement under drift:
+
+* :mod:`repro.mobility.models` — :class:`MobilityModel`s evolving user
+  positions per simulated tick: :class:`RandomWaypoint` (seeded,
+  bounded unit square, pause times) and :class:`VehicularCorridor`
+  (constant-velocity lanes with wraparound);
+* :mod:`repro.mobility.field` — :class:`MobilityField`, the live
+  position store: moving users, fixed server sites (seeded from a
+  ``GeoLatencyMap``'s placement via :meth:`MobilityField.from_geo`),
+  and the simulated clock behind ``advance(dt)``;
+* :mod:`repro.mobility.latency` — :class:`MobileLatencyMap`, a
+  :class:`~repro.fleet.latency.LatencyMap` whose ``rtt()`` reads live
+  positions, so the answer changes every tick;
+* :mod:`repro.mobility.handover` — pluggable :class:`HandoverPolicy`
+  disciplines (``never`` / ``nearest`` with hysteresis /
+  ``predictive`` off the telemetry's RTT forecasts), executed by
+  :meth:`repro.fleet.fleet.EdgeFleet.tick` with every move priced
+  through the :class:`~repro.fleet.migration.MigrationCostModel`.
+
+The package imports :mod:`repro.fleet.latency` and
+:mod:`repro.forecast` but never :mod:`repro.fleet.fleet`; the fleet
+drives it through duck typing (``latency.advance``) and plain policy
+objects, so there are no import cycles.  Determinism is load-bearing:
+models take explicit seeds, read no wall clocks, and the same seed
+replays the same handover sequence tick for tick (asserted by
+``benchmarks/bench_fleet_mobility.py``).
+"""
+
+from repro.mobility.field import MobilityField, evenly_spaced_stations
+from repro.mobility.handover import (
+    HANDOVER_POLICIES,
+    HandoverDecision,
+    HandoverPolicy,
+    NearestHandover,
+    NeverHandover,
+    PredictiveHandover,
+    make_handover_policy,
+)
+from repro.mobility.latency import MobileLatencyMap
+from repro.mobility.models import (
+    MOBILITY_MODELS,
+    MobilityModel,
+    Position,
+    RandomWaypoint,
+    VehicularCorridor,
+    make_mobility_model,
+)
+
+__all__ = [
+    "HANDOVER_POLICIES",
+    "MOBILITY_MODELS",
+    "HandoverDecision",
+    "HandoverPolicy",
+    "MobileLatencyMap",
+    "MobilityField",
+    "MobilityModel",
+    "NearestHandover",
+    "NeverHandover",
+    "Position",
+    "PredictiveHandover",
+    "RandomWaypoint",
+    "VehicularCorridor",
+    "evenly_spaced_stations",
+    "make_handover_policy",
+    "make_mobility_model",
+]

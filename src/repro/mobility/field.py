@@ -1,0 +1,150 @@
+"""The mobility field: live user positions plus fixed server sites.
+
+A :class:`MobilityField` is the single source of spatial truth for a
+moving fleet: it owns a :class:`~repro.mobility.models.MobilityModel`
+(which evolves user positions), a static map of server positions (base
+stations do not move), and the simulated clock.  ``advance(dt)`` steps
+every known user forward by *dt* simulated seconds in sorted-id order —
+iteration order never leaks into trajectories, because each user draws
+from an independent seeded stream, but sorting makes the walk itself
+reproducible too.
+
+Server sites come from the same placement the static geo model uses:
+:meth:`from_geo` reads them off a
+:class:`~repro.fleet.latency.GeoLatencyMap` through its
+:meth:`~repro.fleet.latency.GeoLatencyMap.position` accessor, so a fleet
+that starts static and turns mobile keeps its geography — users start
+moving *between* the very sites the static map had placed, instead of a
+freshly re-derived sha256 layout.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.fleet.latency import GeoLatencyMap
+from repro.mobility.models import MobilityModel, Position
+
+
+def evenly_spaced_stations(
+    server_ids: Sequence[str], y: float = 0.5
+) -> dict[str, Position]:
+    """Base stations spread evenly along a horizontal road at height *y*.
+
+    Station *i* of *n* sits at ``x = (i + 0.5) / n`` — the classic
+    roadside-unit layout for corridor workloads, where every vehicle
+    passes every station once per wraparound lap.
+
+    >>> evenly_spaced_stations(["a", "b"])
+    {'a': (0.25, 0.5), 'b': (0.75, 0.5)}
+    """
+    if not server_ids:
+        raise ValueError("need at least one server id")
+    if not 0.0 <= y <= 1.0:
+        raise ValueError(f"y must be within the unit square, got {y}")
+    n = len(server_ids)
+    return {
+        server_id: ((index + 0.5) / n, y)
+        for index, server_id in enumerate(server_ids)
+    }
+
+
+class MobilityField:
+    """Live positions for moving users and fixed servers, plus the clock.
+
+    Users are registered lazily: the first position query places them
+    through the model, so admission code never has to pre-declare who
+    will move.  :meth:`advance` steps *every* registered user — the
+    field's notion of one tick — and accumulates simulated time in
+    :attr:`now`.
+    """
+
+    def __init__(
+        self,
+        model: MobilityModel,
+        server_positions: Mapping[str, Position],
+        users: Iterable[str] = (),
+    ) -> None:
+        if not server_positions:
+            raise ValueError("a mobility field needs at least one server site")
+        for server_id, (x, y) in server_positions.items():
+            if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+                raise ValueError(
+                    f"server {server_id!r} position {(x, y)} is outside the unit square"
+                )
+        self.model = model
+        self._servers = dict(server_positions)
+        self._positions: dict[str, Position] = {}
+        self.now = 0.0
+        self.ticks = 0
+        for user_id in users:
+            self.ensure_user(user_id)
+
+    @classmethod
+    def from_geo(
+        cls,
+        model: MobilityModel,
+        geo: GeoLatencyMap,
+        server_ids: Sequence[str],
+        users: Iterable[str] = (),
+    ) -> "MobilityField":
+        """Seed server sites from *geo*'s placement (explicit or hashed).
+
+        The static and mobile maps then agree on where every server
+        stands: ``field.position(server_id) == geo.position(server_id)``
+        for every id in *server_ids*.
+        """
+        return cls(
+            model,
+            {server_id: geo.position(server_id) for server_id in server_ids},
+            users=users,
+        )
+
+    @property
+    def server_ids(self) -> list[str]:
+        return sorted(self._servers)
+
+    @property
+    def user_ids(self) -> list[str]:
+        return sorted(self._positions)
+
+    def ensure_user(self, user_id: str) -> Position:
+        """Register *user_id* (placing them via the model) if new."""
+        position = self._positions.get(user_id)
+        if position is None:
+            if user_id in self._servers:
+                raise ValueError(f"{user_id!r} is already a server site")
+            position = self.model.place(user_id)
+            self._positions[user_id] = position
+        return position
+
+    def position(self, node_id: str) -> Position:
+        """Current position of a server site or (auto-registered) user."""
+        server = self._servers.get(node_id)
+        if server is not None:
+            return server
+        return self.ensure_user(node_id)
+
+    def distance(self, user_id: str, server_id: str) -> float:
+        """Euclidean distance from *user_id*'s live position to the site."""
+        server = self._servers.get(server_id)
+        if server is None:
+            raise KeyError(f"unknown server site {server_id!r}")
+        ux, uy = self.ensure_user(user_id)
+        return math.hypot(ux - server[0], uy - server[1])
+
+    def nearest_server(self, user_id: str) -> str:
+        """The server site closest to *user_id*'s live position."""
+        return min(
+            self._servers, key=lambda sid: (self.distance(user_id, sid), sid)
+        )
+
+    def advance(self, dt: float) -> None:
+        """Step every registered user forward by *dt* simulated seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        for user_id in sorted(self._positions):
+            self._positions[user_id] = self.model.advance(user_id, dt)
+        self.now += dt
+        self.ticks += 1

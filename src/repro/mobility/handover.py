@@ -1,0 +1,248 @@
+"""Handover policies: when a moving user should switch servers.
+
+Once users move, the link they were admitted on decays: the vehicle
+drives away from its base station and every RTT-carrying term in the
+ledger worsens.  A :class:`HandoverPolicy` decides, once per fleet tick
+and per admitted user, whether to keep the current server or hand the
+user over to a better one.  The *decision* lives here; the *execution*
+is :meth:`repro.fleet.fleet.EdgeFleet.tick`, which prices every
+accepted handover through the fleet's
+:class:`~repro.fleet.migration.MigrationCostModel` and charges it into
+the user's migration debt exactly like a rebalance move — handovers are
+never free, which is what makes the policy choice a genuine trade-off.
+
+Three disciplines:
+
+* :class:`NeverHandover` — the paper's baseline: the admission-time
+  server is forever.  Free of migration debt, but the link can decay
+  without bound.
+* :class:`NearestHandover` — switch to the lowest-RTT server whenever
+  the current link is worse by more than *hysteresis* seconds.  With
+  ``hysteresis=0`` this is the naive always-chase-the-nearest policy
+  (it pays a migration for every marginal improvement); a positive
+  margin suppresses the churn while still abandoning genuinely bad
+  links.
+* :class:`PredictiveHandover` — consult the fleet telemetry's
+  per-link forecast (:meth:`~repro.forecast.proactive.FleetTelemetry.
+  predict_rtt`) and hand over *before* the current link's predicted RTT
+  breaches *threshold*, choosing the candidate with the best predicted
+  (falling back to observed) RTT.  The proactive sibling of
+  ``rebalance(proactive=True)``, applied per link instead of per
+  server.
+
+Policies are deterministic and stateless about users — they see one
+decision's inputs and return a target (or ``None`` to stay), so the
+same trace replays to the same handover sequence.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.forecast.proactive import FleetTelemetry
+
+
+@dataclass(frozen=True)
+class HandoverDecision:
+    """One executed handover: who moved, whence, whither, and the RTTs."""
+
+    user_id: str
+    source: str
+    target: str
+    rtt_before: float
+    """Observed RTT of the link being abandoned."""
+
+    rtt_after: float
+    """Observed RTT of the link being adopted."""
+
+    tick: int
+    """The field tick at which the handover executed."""
+
+    @property
+    def gain(self) -> float:
+        """Observed RTT improvement (positive = the link got better)."""
+        return self.rtt_before - self.rtt_after
+
+
+class HandoverPolicy(abc.ABC):
+    """Per-user, per-tick decision: stay, or move to which server?"""
+
+    name: str = "custom"
+
+    @abc.abstractmethod
+    def target(
+        self,
+        user_id: str,
+        current: str,
+        rtts: Mapping[str, float],
+        telemetry: FleetTelemetry | None = None,
+    ) -> str | None:
+        """The server to hand *user_id* over to, or ``None`` to stay.
+
+        *rtts* maps every candidate server id — the current server plus
+        every server the fleet would accept the user on — to its
+        observed RTT this tick.  *telemetry* is the fleet's recorded
+        history, when one exists; policies that do not forecast ignore
+        it.  Returning *current* (or an id not in *rtts*) is treated as
+        staying.
+        """
+
+
+class NeverHandover(HandoverPolicy):
+    """The admission-time server is forever (the paper's static model)."""
+
+    name = "never"
+
+    def target(
+        self,
+        user_id: str,
+        current: str,
+        rtts: Mapping[str, float],
+        telemetry: FleetTelemetry | None = None,
+    ) -> str | None:
+        return None
+
+
+def _nearest(rtts: Mapping[str, float]) -> tuple[str, float]:
+    """Lowest-RTT candidate, ties broken by server id for determinism."""
+    server_id = min(rtts, key=lambda sid: (rtts[sid], sid))
+    return server_id, rtts[server_id]
+
+
+class NearestHandover(HandoverPolicy):
+    """Chase the nearest server, damped by a hysteresis margin.
+
+    Hands over when the current link's RTT exceeds the best candidate's
+    by more than *hysteresis* seconds.  Zero hysteresis reproduces the
+    naive vehicular behaviour — re-pick the nearest base station the
+    moment it changes — which maximises link quality and migration
+    churn alike; the margin is the knob that trades the two.
+    """
+
+    name = "nearest"
+
+    def __init__(self, hysteresis: float = 0.0) -> None:
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        self.hysteresis = hysteresis
+
+    def target(
+        self,
+        user_id: str,
+        current: str,
+        rtts: Mapping[str, float],
+        telemetry: FleetTelemetry | None = None,
+    ) -> str | None:
+        if current not in rtts:  # pragma: no cover - fleet always includes it
+            return None
+        best_id, best_rtt = _nearest(rtts)
+        if best_id == current:
+            return None
+        if rtts[current] - best_rtt > self.hysteresis:
+            return best_id
+        return None
+
+
+class PredictiveHandover(HandoverPolicy):
+    """Hand over before the forecasted link RTT breaches a threshold.
+
+    The current link's RTT is forecast *horizon* ticks out from the
+    fleet telemetry's ``fleet_rtt_<user>@<server>`` series; while the
+    prediction stays at or under *threshold* the user keeps its server
+    (and its plan-cache locality).  On a predicted breach the user
+    moves to the candidate with the lowest predicted RTT — candidates
+    without history fall back to their observed RTT — provided that
+    candidate improves on the prediction by more than *hysteresis*
+    (otherwise every server is about equally bad and moving would be
+    pure churn).  With no telemetry at all the policy degrades to
+    observed-RTT behaviour: a threshold breach on the measured link
+    triggers the same comparison.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self, threshold: float, horizon: int = 3, hysteresis: float = 0.0
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        self.threshold = threshold
+        self.horizon = horizon
+        self.hysteresis = hysteresis
+
+    def _predicted(
+        self,
+        user_id: str,
+        server_id: str,
+        observed: float,
+        telemetry: FleetTelemetry | None,
+    ) -> float:
+        if telemetry is None:
+            return observed
+        predicted = telemetry.predict_rtt(user_id, server_id, self.horizon)
+        if predicted is None:
+            return observed
+        return max(predicted, 0.0)
+
+    def target(
+        self,
+        user_id: str,
+        current: str,
+        rtts: Mapping[str, float],
+        telemetry: FleetTelemetry | None = None,
+    ) -> str | None:
+        if current not in rtts:  # pragma: no cover - fleet always includes it
+            return None
+        outlook = self._predicted(user_id, current, rtts[current], telemetry)
+        if outlook <= self.threshold:
+            return None
+        candidates = {
+            server_id: self._predicted(user_id, server_id, observed, telemetry)
+            for server_id, observed in rtts.items()
+            if server_id != current
+        }
+        if not candidates:
+            return None
+        best_id, best_outlook = _nearest(candidates)
+        if outlook - best_outlook > self.hysteresis:
+            return best_id
+        return None
+
+
+HANDOVER_POLICIES = ("never", "nearest", "predictive")
+"""Registered handover-policy names, for CLIs and experiment sweeps."""
+
+
+def make_handover_policy(
+    name: str,
+    *,
+    hysteresis: float = 0.0,
+    threshold: float = 0.1,
+    horizon: int = 3,
+) -> HandoverPolicy:
+    """Build a handover policy by registered name.
+
+    *hysteresis* configures both reactive and predictive damping;
+    *threshold*/*horizon* only the predictive policy.  Irrelevant
+    options are ignored, so sweeps can pass one option set everywhere.
+
+    >>> make_handover_policy("never").name
+    'never'
+    """
+    if name == "never":
+        return NeverHandover()
+    if name == "nearest":
+        return NearestHandover(hysteresis=hysteresis)
+    if name == "predictive":
+        return PredictiveHandover(
+            threshold, horizon=horizon, hysteresis=hysteresis
+        )
+    raise ValueError(
+        f"unknown handover policy {name!r}; expected one of {list(HANDOVER_POLICIES)}"
+    )

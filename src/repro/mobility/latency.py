@@ -1,0 +1,76 @@
+"""A time-varying latency map backed by live mobility positions.
+
+:class:`MobileLatencyMap` is the mobility analogue of
+:class:`~repro.fleet.latency.GeoLatencyMap`: the same distance→RTT
+formula (``base_rtt + seconds_per_unit * distance``), but the user end
+of the link reads its *live* position from a
+:class:`~repro.mobility.field.MobilityField` instead of a frozen hash
+placement.  ``advance(dt)`` steps the field, so ``rtt()`` answers a
+different number after every tick — exactly the property the fleet's
+telemetry series (``fleet_rtt_<user>@<server>``), affinity routing's
+``latency_slack`` and the handover policies all key off.
+
+The class satisfies the :class:`~repro.fleet.latency.LatencyMap`
+contract, so an :class:`~repro.fleet.fleet.EdgeFleet` accepts it
+anywhere a static map went; the fleet's ``tick(dt)`` discovers the
+``advance`` method by duck typing (static maps simply have none), which
+keeps :mod:`repro.fleet` free of any import of this package.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.latency import GeoLatencyMap, LatencyMap
+from repro.mobility.field import MobilityField
+from repro.mobility.models import MobilityModel
+
+
+class MobileLatencyMap(LatencyMap):
+    """Distance-proportional RTT over live (moving) user positions."""
+
+    def __init__(
+        self,
+        field: MobilityField,
+        *,
+        base_rtt: float = 0.0,
+        seconds_per_unit: float = 0.1,
+    ) -> None:
+        if base_rtt < 0:
+            raise ValueError(f"base_rtt must be >= 0, got {base_rtt}")
+        if seconds_per_unit < 0:
+            raise ValueError(
+                f"seconds_per_unit must be >= 0, got {seconds_per_unit}"
+            )
+        self.field = field
+        self.base_rtt = base_rtt
+        self.seconds_per_unit = seconds_per_unit
+
+    @classmethod
+    def from_geo(
+        cls,
+        model: MobilityModel,
+        geo: GeoLatencyMap,
+        server_ids: list[str],
+    ) -> "MobileLatencyMap":
+        """Mobile map agreeing with *geo* on sites, scale and base RTT.
+
+        Server positions are read through
+        :meth:`~repro.fleet.latency.GeoLatencyMap.position`, so at the
+        instant of construction the two maps price every (user, server)
+        link with the same formula over the same server geography — the
+        mobile map then diverges only because its users move.
+        """
+        field = MobilityField.from_geo(model, geo, server_ids)
+        return cls(
+            field,
+            base_rtt=geo.base_rtt,
+            seconds_per_unit=geo.seconds_per_unit,
+        )
+
+    def rtt(self, user_id: str, server_id: str) -> float:
+        return self.base_rtt + self.seconds_per_unit * self.field.distance(
+            user_id, server_id
+        )
+
+    def advance(self, dt: float) -> None:
+        """Advance the underlying field: the map's answers move with it."""
+        self.field.advance(dt)

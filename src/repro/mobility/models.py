@@ -1,0 +1,244 @@
+"""Mobility models: per-user positions evolving over simulated time.
+
+The paper fixes each user to one link to a single server ``S``; every
+latency model before this package was a *static* map from ids to RTTs.
+Real edge users move — the vehicular offloading schedulers this package
+draws on re-pick their nearest base station as the vehicle drives — so
+the first ingredient of a time-varying network is a
+:class:`MobilityModel`: an object that places each user somewhere on the
+unit square and advances that position by ``dt`` simulated seconds at a
+time.
+
+Two classic models are provided:
+
+* :class:`RandomWaypoint` — the standard ad-hoc-network benchmark
+  model: pick a uniform waypoint, walk toward it at constant speed,
+  pause on arrival, repeat.  Bounded to the unit square by
+  construction (waypoints are drawn inside it).
+* :class:`VehicularCorridor` — constant-velocity traffic lanes: each
+  user is assigned a horizontal lane, drives along it at the model's
+  speed (direction alternating per lane) and wraps around at the edge,
+  like vehicles circulating a ring road past roadside base stations.
+
+Determinism is a hard contract (the repo's determinism lint gates this
+package): every model takes an explicit integer seed, derives one
+independent :class:`~repro.utils.rng.RandomSource` stream per user id,
+and never reads wall clocks — simulated time only enters through the
+``dt`` arguments the caller passes.  The same seed therefore reproduces
+the same trajectories, tick for tick, across processes and machines.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.utils.rng import RandomSource
+
+Position = tuple[float, float]
+"""A point on the unit square."""
+
+
+class MobilityModel(abc.ABC):
+    """Places users on the unit square and evolves them over time.
+
+    Models own their per-user state (current position, current waypoint,
+    remaining pause, lane assignment, …) keyed by user id; the
+    :class:`~repro.mobility.field.MobilityField` drives every known user
+    through :meth:`advance` once per tick.  Both methods are
+    deterministic functions of the constructor arguments, the user id
+    and the sequence of ``dt`` values seen so far.
+    """
+
+    name: str = "custom"
+
+    @abc.abstractmethod
+    def place(self, user_id: str) -> Position:
+        """Return (and remember) *user_id*'s initial position."""
+
+    @abc.abstractmethod
+    def advance(self, user_id: str, dt: float) -> Position:
+        """Advance *user_id* by *dt* simulated seconds; return the position.
+
+        Unknown users are placed first (as if :meth:`place` had been
+        called) and then advanced, so a field can drive late joiners
+        without special-casing them.
+        """
+
+
+def _check_dt(dt: float) -> float:
+    if dt < 0:
+        raise ValueError(f"dt must be >= 0, got {dt}")
+    return dt
+
+
+@dataclass
+class _WaypointState:
+    """One random-waypoint user: where they are, where they're headed."""
+
+    position: Position
+    waypoint: Position
+    pause_left: float
+
+
+class RandomWaypoint(MobilityModel):
+    """The random-waypoint model on the unit square.
+
+    Each user starts at a uniform position with a uniform waypoint,
+    walks toward the waypoint at *speed* (units of the square per
+    simulated second), pauses *pause_time* seconds on arrival, then
+    draws the next waypoint.  All randomness comes from one
+    :class:`~repro.utils.rng.RandomSource` child stream per user id, so
+    trajectories are independent across users yet fully reproducible
+    from *seed* — admission order cannot change anyone's path.
+    """
+
+    name = "waypoint"
+
+    def __init__(
+        self, speed: float = 0.05, pause_time: float = 0.0, seed: int = 0
+    ) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed}")
+        if pause_time < 0:
+            raise ValueError(f"pause_time must be >= 0, got {pause_time}")
+        self.speed = speed
+        self.pause_time = pause_time
+        self.seed = seed
+        self._root = RandomSource(seed).spawn("waypoint")
+        self._users: dict[str, _WaypointState] = {}
+        self._rngs: dict[str, RandomSource] = {}
+
+    def _rng(self, user_id: str) -> RandomSource:
+        rng = self._rngs.get(user_id)
+        if rng is None:
+            rng = self._root.spawn(user_id)
+            self._rngs[user_id] = rng
+        return rng
+
+    def _state(self, user_id: str) -> _WaypointState:
+        state = self._users.get(user_id)
+        if state is None:
+            rng = self._rng(user_id)
+            state = _WaypointState(
+                position=(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)),
+                waypoint=(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)),
+                pause_left=0.0,
+            )
+            self._users[user_id] = state
+        return state
+
+    def place(self, user_id: str) -> Position:
+        return self._state(user_id).position
+
+    def advance(self, user_id: str, dt: float) -> Position:
+        dt = _check_dt(dt)
+        state = self._state(user_id)
+        rng = self._rng(user_id)
+        remaining = dt
+        while remaining > 0:
+            if state.pause_left > 0:
+                waited = min(state.pause_left, remaining)
+                state.pause_left -= waited
+                remaining -= waited
+                continue
+            if self.speed == 0:
+                break
+            x, y = state.position
+            wx, wy = state.waypoint
+            distance = ((wx - x) ** 2 + (wy - y) ** 2) ** 0.5
+            reach = self.speed * remaining
+            if reach < distance:
+                fraction = reach / distance
+                state.position = (x + (wx - x) * fraction, y + (wy - y) * fraction)
+                break
+            # Arrive at the waypoint, spend the travel time, then pause
+            # and draw the next destination.
+            state.position = state.waypoint
+            remaining -= distance / self.speed if self.speed > 0 else remaining
+            state.pause_left = self.pause_time
+            state.waypoint = (rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0))
+        return state.position
+
+
+@dataclass
+class _CorridorState:
+    """One corridor user: lane y, signed speed along x, current x."""
+
+    x: float
+    y: float
+    velocity: float
+
+
+class VehicularCorridor(MobilityModel):
+    """Constant-velocity traffic lanes with wraparound.
+
+    *lanes* horizontal lanes are spread evenly across the unit square's
+    height; each user is assigned a lane and a starting ``x`` from their
+    seeded stream and then drives at exactly *speed* along the lane —
+    eastbound on even lanes, westbound on odd ones — wrapping from 1
+    back to 0 (a ring road).  Vehicles pass every roadside station once
+    per lap, which is the workload that makes naive nearest-station
+    handover churn and hysteresis pay off.
+    """
+
+    name = "corridor"
+
+    def __init__(self, speed: float = 0.05, lanes: int = 2, seed: int = 0) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed}")
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.speed = speed
+        self.lanes = lanes
+        self.seed = seed
+        self._root = RandomSource(seed).spawn("corridor")
+        self._users: dict[str, _CorridorState] = {}
+
+    def _state(self, user_id: str) -> _CorridorState:
+        state = self._users.get(user_id)
+        if state is None:
+            rng = self._root.spawn(user_id)
+            lane = rng.randint(0, self.lanes - 1)
+            y = (lane + 0.5) / self.lanes
+            direction = 1.0 if lane % 2 == 0 else -1.0
+            state = _CorridorState(
+                x=rng.uniform(0.0, 1.0), y=y, velocity=direction * self.speed
+            )
+            self._users[user_id] = state
+        return state
+
+    def place(self, user_id: str) -> Position:
+        state = self._state(user_id)
+        return (state.x, state.y)
+
+    def advance(self, user_id: str, dt: float) -> Position:
+        dt = _check_dt(dt)
+        state = self._state(user_id)
+        state.x = (state.x + state.velocity * dt) % 1.0
+        return (state.x, state.y)
+
+
+MOBILITY_MODELS = ("corridor", "waypoint")
+"""Registered mobility-model names, for CLIs and experiment sweeps."""
+
+
+def make_mobility_model(
+    name: str, *, speed: float = 0.05, pause_time: float = 0.0, lanes: int = 2, seed: int = 0
+) -> MobilityModel:
+    """Build a mobility model by registered name.
+
+    Options irrelevant to the chosen model (waypoint's *pause_time*,
+    the corridor's *lanes*) are ignored by the other, so sweeps can pass
+    one option set to every name.
+
+    >>> make_mobility_model("corridor", speed=0.1).name
+    'corridor'
+    """
+    if name == "waypoint":
+        return RandomWaypoint(speed=speed, pause_time=pause_time, seed=seed)
+    if name == "corridor":
+        return VehicularCorridor(speed=speed, lanes=lanes, seed=seed)
+    raise ValueError(
+        f"unknown mobility model {name!r}; expected one of {list(MOBILITY_MODELS)}"
+    )

@@ -467,3 +467,26 @@ class TestFleetBenchCLI:
 
         assert main(["fleet-bench", "--smoke", "--policies", "magic"]) == 2
         assert "unknown routing policies" in capsys.readouterr().err
+
+    def test_mobility_sweep_path(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fleet-bench", "--smoke", "--mobility", "corridor",
+            "--speed", "0.05", "--ticks", "6",
+            "--handover", "never", "nearest:0", "nearest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-bench --mobility corridor" in out
+        for arm in ("never", "nearest:0", "nearest"):
+            assert arm in out
+        assert "best handover policy" in out
+
+    def test_unknown_handover_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fleet-bench", "--smoke", "--mobility", "corridor",
+            "--handover", "psychic",
+        ]) == 2
+        assert "unknown handover policies" in capsys.readouterr().err

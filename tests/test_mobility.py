@@ -1,0 +1,451 @@
+"""Tests for user mobility and handover orchestration (repro.mobility).
+
+Covers the mobility models (bounded, seeded, wall-clock-free), the
+live-position field and its geo-placement bridge, the time-varying
+latency map, the three handover disciplines, and their integration
+with :meth:`~repro.fleet.fleet.EdgeFleet.tick`: every executed
+handover is priced through the migration cost model, recorded in the
+telemetry, and replayed identically from the same seed.  The satellite
+fixes ride along: the :class:`~repro.fleet.latency.StaticLatencyMap`
+validation regression and fingerprint-affinity stickiness under
+drifting RTTs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import (
+    EdgeFleet,
+    FingerprintAffinityRouting,
+    GeoLatencyMap,
+    MigrationCostModel,
+    StaticLatencyMap,
+    TickReport,
+)
+from repro.fleet.routing import ServerLoad
+from repro.mec.devices import MobileDevice
+from repro.mobility import (
+    HANDOVER_POLICIES,
+    MOBILITY_MODELS,
+    MobileLatencyMap,
+    MobilityField,
+    NearestHandover,
+    NeverHandover,
+    PredictiveHandover,
+    RandomWaypoint,
+    VehicularCorridor,
+    evenly_spaced_stations,
+    make_handover_policy,
+    make_mobility_model,
+)
+from repro.workloads import synthesize_application
+from repro.workloads.profiles import quick_profile
+from repro.workloads.traces import call_graph_from_dict, call_graph_to_dict
+
+
+@pytest.fixture(scope="module")
+def fleet_profile():
+    return dataclasses.replace(
+        quick_profile(), distinct_graphs=4, multiuser_graph_size=30
+    )
+
+
+def mobile_fleet(
+    fleet_profile,
+    *,
+    servers=4,
+    users=6,
+    speed=0.05,
+    rtt_scale=2.0,
+    seed=7,
+    **kwargs,
+):
+    """Corridor fleet: hot app on every user, stations along the road."""
+    model = VehicularCorridor(speed=speed, lanes=1, seed=seed)
+    station_ids = [f"edge-{i:02d}" for i in range(servers)]
+    field = MobilityField(model, evenly_spaced_stations(station_ids))
+    kwargs.setdefault("routing", FingerprintAffinityRouting(latency_slack=0.05))
+    kwargs.setdefault("migration", MigrationCostModel(handoff_latency=0.05))
+    fleet = EdgeFleet(
+        capacities=[2000.0] * servers,
+        latency=MobileLatencyMap(field, seconds_per_unit=rtt_scale),
+        **kwargs,
+    )
+    app = synthesize_application("hot", n_functions=20, seed=2)
+    for i in range(users):
+        fleet.admit(
+            MobileDevice(f"u{i}", profile=fleet_profile.device),
+            call_graph_from_dict(call_graph_to_dict(app)),
+        )
+    return fleet
+
+
+def owner_of(fleet, user_id):
+    for server_id, server in fleet.servers.items():
+        if user_id in server.admitted:
+            return server_id
+    raise AssertionError(f"{user_id} not admitted anywhere")
+
+
+class TestMobilityModels:
+    def test_waypoint_stays_on_the_unit_square(self):
+        model = RandomWaypoint(speed=0.3, seed=11)
+        for user in ("a", "b", "c"):
+            model.place(user)
+            for _ in range(200):
+                x, y = model.advance(user, 0.5)
+                assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_waypoint_is_deterministic_per_seed(self):
+        first = RandomWaypoint(speed=0.1, seed=3)
+        second = RandomWaypoint(speed=0.1, seed=3)
+        other = RandomWaypoint(speed=0.1, seed=4)
+        trace_a = [first.advance("u", 0.7) for _ in range(20)]
+        trace_b = [second.advance("u", 0.7) for _ in range(20)]
+        trace_c = [other.advance("u", 0.7) for _ in range(20)]
+        assert trace_a == trace_b
+        assert trace_a != trace_c
+
+    def test_waypoint_placement_is_admission_order_independent(self):
+        first = RandomWaypoint(seed=5)
+        second = RandomWaypoint(seed=5)
+        first.place("u1")
+        first.place("u2")
+        second.place("u2")
+        second.place("u1")
+        assert first.place("u1") == second.place("u1")
+        assert first.place("u2") == second.place("u2")
+
+    def test_waypoint_pause_consumes_time_in_place(self):
+        model = RandomWaypoint(speed=1e9, pause_time=10.0, seed=0)
+        model.place("u")
+        # At astronomic speed the first dt lands on a waypoint and the
+        # remainder goes into the pause; the next small steps must not
+        # move the user at all until the pause drains.
+        arrived = model.advance("u", 1.0)
+        assert model.advance("u", 2.0) == arrived
+        assert model.advance("u", 3.0) == arrived
+
+    def test_zero_speed_is_stationary(self):
+        model = RandomWaypoint(speed=0.0, seed=1)
+        start = model.place("u")
+        assert model.advance("u", 100.0) == start
+
+    def test_corridor_drives_along_a_fixed_lane_and_wraps(self):
+        model = VehicularCorridor(speed=0.3, lanes=2, seed=9)
+        for user in ("a", "b", "c", "d"):
+            x0, y0 = model.place(user)
+            positions = [model.advance(user, 1.0) for _ in range(10)]
+            assert all(y == y0 for _, y in positions)
+            assert all(0.0 <= x < 1.0 for x, _ in positions)
+
+    def test_corridor_direction_alternates_per_lane(self):
+        model = VehicularCorridor(speed=0.01, lanes=2, seed=0)
+        seen = set()
+        for i in range(20):
+            user = f"u{i}"
+            x0, y0 = model.place(user)
+            x1, _ = model.advance(user, 1.0)
+            delta = (x1 - x0 + 1.0) % 1.0
+            east = delta < 0.5
+            lane = round(y0 * 2 - 0.5)
+            assert east == (lane % 2 == 0)
+            seen.add(lane)
+        assert seen == {0, 1}
+
+    def test_models_validate_their_parameters(self):
+        with pytest.raises(ValueError, match="speed"):
+            RandomWaypoint(speed=-0.1)
+        with pytest.raises(ValueError, match="pause_time"):
+            RandomWaypoint(pause_time=-1.0)
+        with pytest.raises(ValueError, match="lanes"):
+            VehicularCorridor(lanes=0)
+        with pytest.raises(ValueError, match="dt"):
+            VehicularCorridor().advance("u", -1.0)
+
+    def test_registry_dispatch(self):
+        assert set(MOBILITY_MODELS) == {"corridor", "waypoint"}
+        assert make_mobility_model("waypoint", pause_time=2.0).pause_time == 2.0
+        assert make_mobility_model("corridor", lanes=3).lanes == 3
+        with pytest.raises(ValueError, match="unknown mobility model"):
+            make_mobility_model("teleport")
+
+
+class TestMobilityField:
+    def test_stations_are_evenly_spaced(self):
+        stations = evenly_spaced_stations(["a", "b", "c", "d"])
+        assert [x for x, _ in stations.values()] == [0.125, 0.375, 0.625, 0.875]
+        assert all(y == 0.5 for _, y in stations.values())
+
+    def test_users_are_placed_lazily_and_advance_together(self):
+        model = VehicularCorridor(speed=0.25, lanes=1, seed=1)
+        field = MobilityField(model, evenly_spaced_stations(["s0", "s1"]))
+        before = field.position("u1")
+        field.ensure_user("u2")
+        field.advance(1.0)
+        assert field.ticks == 1
+        assert field.now == 1.0
+        moved = field.position("u1")
+        assert moved != before
+        # Stations never move.
+        assert field.position("s0") == (0.25, 0.5)
+
+    def test_user_ids_may_not_collide_with_stations(self):
+        model = VehicularCorridor(seed=0)
+        field = MobilityField(model, evenly_spaced_stations(["s0"]))
+        with pytest.raises(ValueError, match="server site"):
+            field.ensure_user("s0")
+
+    def test_nearest_server_follows_the_distance(self):
+        model = VehicularCorridor(speed=0.0, seed=0)
+        field = MobilityField(
+            model, {"near": (0.1, 0.5), "far": (0.9, 0.5)}, users=()
+        )
+        field._positions["u"] = (0.2, 0.5)  # pin a known position
+        assert field.nearest_server("u") == "near"
+        assert field.distance("u", "near") == pytest.approx(0.1)
+
+    def test_from_geo_agrees_with_the_geo_placement(self):
+        # Satellite: the mobility field must seed stations from the
+        # same GeoLatencyMap placement the static fleet used, so a
+        # geo experiment upgraded to mobility keeps its geography.
+        geo = GeoLatencyMap(
+            {"edge-00": (0.25, 0.75)}, seconds_per_unit=0.2, seed=3
+        )
+        server_ids = ["edge-00", "edge-01", "edge-02"]
+        model = VehicularCorridor(seed=0)
+        field = MobilityField.from_geo(model, geo, server_ids)
+        for server_id in server_ids:
+            assert field.position(server_id) == geo.position(server_id)
+        assert field.position("edge-00") == (0.25, 0.75)
+
+
+class TestMobileLatencyMap:
+    def test_rtt_is_base_plus_scaled_distance(self):
+        model = VehicularCorridor(speed=0.0, seed=0)
+        field = MobilityField(model, {"s": (0.0, 0.5)})
+        field._positions["u"] = (0.5, 0.5)
+        latency = MobileLatencyMap(field, base_rtt=0.01, seconds_per_unit=0.2)
+        assert latency.rtt("u", "s") == pytest.approx(0.01 + 0.2 * 0.5)
+
+    def test_rtt_changes_as_users_move(self):
+        model = VehicularCorridor(speed=0.1, lanes=1, seed=2)
+        field = MobilityField(model, evenly_spaced_stations(["s0", "s1"]))
+        latency = MobileLatencyMap(field, seconds_per_unit=1.0)
+        before = latency.rtt("u", "s0")
+        latency.advance(1.0)
+        assert latency.rtt("u", "s0") != before
+
+    def test_from_geo_copies_the_geo_parameters(self):
+        geo = GeoLatencyMap(base_rtt=0.02, seconds_per_unit=0.4, seed=1)
+        model = VehicularCorridor(seed=0)
+        latency = MobileLatencyMap.from_geo(model, geo, ["s0", "s1"])
+        assert latency.base_rtt == 0.02
+        assert latency.seconds_per_unit == 0.4
+        assert latency.field.position("s0") == geo.position("s0")
+
+    def test_validates_parameters(self):
+        model = VehicularCorridor(seed=0)
+        field = MobilityField(model, {"s": (0.0, 0.0)})
+        with pytest.raises(ValueError, match="base_rtt"):
+            MobileLatencyMap(field, base_rtt=-0.1)
+        with pytest.raises(ValueError, match="seconds_per_unit"):
+            MobileLatencyMap(field, seconds_per_unit=-1.0)
+
+
+class TestHandoverPolicies:
+    def test_never_stays_put(self):
+        policy = NeverHandover()
+        assert policy.target("u", "s0", {"s0": 0.9, "s1": 0.1}) is None
+
+    def test_nearest_moves_to_the_lowest_rtt(self):
+        policy = NearestHandover()
+        assert policy.target("u", "s0", {"s0": 0.3, "s1": 0.1}) == "s1"
+        assert policy.target("u", "s0", {"s0": 0.1, "s1": 0.3}) is None
+
+    def test_nearest_hysteresis_absorbs_marginal_gains(self):
+        policy = NearestHandover(hysteresis=0.25)
+        assert policy.target("u", "s0", {"s0": 0.3, "s1": 0.1}) is None
+        assert policy.target("u", "s0", {"s0": 0.4, "s1": 0.1}) == "s1"
+
+    def test_nearest_breaks_ties_by_server_id(self):
+        policy = NearestHandover()
+        assert policy.target("u", "s9", {"s9": 0.5, "b": 0.1, "a": 0.1}) == "a"
+
+    def test_predictive_falls_back_to_observed_rtts(self):
+        # Without telemetry the forecast degenerates to the observation:
+        # stay while under the threshold, flee when over it.
+        policy = PredictiveHandover(threshold=0.5)
+        assert policy.target("u", "s0", {"s0": 0.4, "s1": 0.1}) is None
+        assert policy.target("u", "s0", {"s0": 0.6, "s1": 0.1}) == "s1"
+
+    def test_registry_dispatch(self):
+        assert set(HANDOVER_POLICIES) == {"never", "nearest", "predictive"}
+        assert make_handover_policy("nearest", hysteresis=0.2).hysteresis == 0.2
+        assert make_handover_policy("predictive", threshold=1.0).threshold == 1.0
+        with pytest.raises(ValueError, match="unknown handover policy"):
+            make_handover_policy("psychic")
+        with pytest.raises(ValueError, match="hysteresis"):
+            NearestHandover(hysteresis=-0.1)
+
+
+class TestFleetTick:
+    def test_tick_advances_the_field_and_reports(self, fleet_profile):
+        fleet = mobile_fleet(fleet_profile, handover=NearestHandover())
+        report = fleet.tick(1.0)
+        assert isinstance(report, TickReport)
+        assert report.tick == 1
+        assert report.dt == 1.0
+        assert fleet.latency.field.ticks == 1
+        assert fleet.metrics.counter("fleet_ticks").value == 1
+
+    def test_tick_without_a_policy_never_hands_over(self, fleet_profile):
+        fleet = mobile_fleet(fleet_profile, handover=None)
+        for _ in range(8):
+            report = fleet.tick(1.0)
+            assert report.handovers == []
+        assert fleet.metrics.counter("fleet_handovers").value == 0
+
+    def test_handover_moves_the_user_and_charges_the_ledger(self, fleet_profile):
+        fleet = mobile_fleet(fleet_profile, handover=NearestHandover())
+        executed = []
+        for _ in range(12):
+            executed.extend(fleet.tick(1.0).handovers)
+        assert executed, "a corridor run this long must hand someone over"
+        decision = executed[-1]
+        assert owner_of(fleet, decision.user_id) == decision.target
+        assert decision.rtt_after < decision.rtt_before
+        assert decision.gain == pytest.approx(
+            decision.rtt_before - decision.rtt_after
+        )
+        migration = fleet.metrics.histogram("fleet_migration_cost")
+        assert migration.count >= len(executed)
+        debt = fleet.migration_debt
+        assert decision.user_id in debt
+        assert debt[decision.user_id].time > 0
+
+    def test_tick_report_prices_the_moves(self, fleet_profile):
+        fleet = mobile_fleet(fleet_profile, handover=NearestHandover())
+        charged = 0.0
+        moves = 0
+        for _ in range(12):
+            report = fleet.tick(1.0)
+            charged += report.migration_cost
+            moves += report.moves
+        assert moves == fleet.metrics.counter("fleet_handovers").value
+        assert charged > 0
+
+    def test_same_seed_replays_the_same_handover_sequence(self, fleet_profile):
+        def sequence(seed):
+            fleet = mobile_fleet(
+                fleet_profile, handover=NearestHandover(hysteresis=0.1), seed=seed
+            )
+            moves = []
+            for _ in range(10):
+                moves.extend(
+                    (d.tick, d.user_id, d.source, d.target)
+                    for d in fleet.tick(1.0).handovers
+                )
+            return moves
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(13)
+
+    def test_static_latency_maps_simply_stand_still(self, fleet_profile):
+        fleet = EdgeFleet(2, 2000.0, latency=StaticLatencyMap(default=0.1))
+        app = synthesize_application("hot", n_functions=20, seed=2)
+        fleet.admit(MobileDevice("u0", profile=fleet_profile.device), app)
+        report = fleet.tick(1.0)
+        assert report.handovers == []
+        assert report.tick == 1
+
+    def test_tick_rejects_bad_dt(self, fleet_profile):
+        fleet = mobile_fleet(fleet_profile)
+        with pytest.raises(ValueError, match="dt"):
+            fleet.tick(-1.0)
+
+
+class TestMobilityExperiment:
+    def test_sweep_reports_every_cell(self, fleet_profile):
+        from repro.experiments.fleet import run_fleet_mobility_experiment
+
+        comparison = run_fleet_mobility_experiment(
+            n_users=6,
+            n_servers=3,
+            profile=fleet_profile,
+            speeds=(0.05,),
+            handovers=("never", "nearest", "nearest:0.4"),
+            ticks=6,
+            seed=3,
+        )
+        assert comparison.speeds == (0.05,)
+        assert comparison.handovers == ("never", "nearest", "nearest:0.4")
+        assert len(comparison.rows) == 3
+        never = comparison.row(0.05, "never")
+        assert never.handovers == 0
+        assert never.migration_cost == 0.0
+        assert never.handover_sequence == ()
+        for row in comparison.rows:
+            assert row.users == 6
+            assert row.mean_rtt >= 0
+            assert 0 < row.mean_combined < float("inf")
+        with pytest.raises(KeyError, match="no row"):
+            comparison.row(0.05, "teleport")
+
+    def test_sweep_is_seed_deterministic(self, fleet_profile):
+        from repro.experiments.fleet import run_fleet_mobility_experiment
+
+        def sequences(seed):
+            comparison = run_fleet_mobility_experiment(
+                n_users=6,
+                n_servers=3,
+                profile=fleet_profile,
+                speeds=(0.08,),
+                handovers=("nearest",),
+                ticks=6,
+                seed=seed,
+            )
+            return [row.handover_sequence for row in comparison.rows]
+
+        assert sequences(5) == sequences(5)
+
+
+class TestSatelliteFixes:
+    def test_static_map_rejects_negative_pair_masked_by_server_entry(self):
+        # Regression: the old validation merged both tables keyed by
+        # server id, so a valid per-server RTT could mask a negative
+        # (user, server) pair sharing that id.
+        with pytest.raises(ValueError, match=r"pair \('u1', 'edge-00'\)"):
+            StaticLatencyMap(
+                {("u1", "edge-00"): -0.2}, {"edge-00": 0.05}
+            )
+
+    def test_static_map_rejects_negative_server_rtt(self):
+        with pytest.raises(ValueError, match="server 'edge-01'"):
+            StaticLatencyMap(None, {"edge-00": 0.1, "edge-01": -0.1})
+
+    def test_affinity_sticks_within_slack_and_flees_beyond_it(self):
+        # Satellite: cache affinity under a drifting link.  The home
+        # server keeps the key while its RTT stays within the slack of
+        # the best link, and loses it once the drift exceeds it.
+        policy = FingerprintAffinityRouting(latency_slack=0.1)
+
+        def snapshot(rtts):
+            return [
+                ServerLoad(server_id=sid, users=0, rtt=rtt)
+                for sid, rtt in rtts.items()
+            ]
+
+        home = policy.route("app-key", snapshot({"s0": 0.0, "s1": 0.0}))
+        other = "s1" if home == "s0" else "s0"
+        drifting = policy.route(
+            "app-key", snapshot({home: 0.09, other: 0.0})
+        )
+        assert drifting == home
+        drifted = policy.route(
+            "app-key", snapshot({home: 0.25, other: 0.0})
+        )
+        assert drifted == other
