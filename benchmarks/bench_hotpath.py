@@ -9,13 +9,17 @@ array-graph/process-executor work are tracked across PRs:
 
 * plans/sec for ``PlanService`` in thread vs process executor mode, plus
   the per-stage p50s (compression / cut) from the service histograms;
-* dict vs CSR label-propagation kernel wall time on a large graph,
-  with a label-parity check;
+* dict vs CSR vs numpy label-propagation kernel wall time on a large
+  graph, with a label-parity check across all three;
+* python vs numpy greedy candidate-scan inside a full multi-user plan,
+  with a plan-digest parity check;
 * cold vs warm Fiedler sparse solves (the warm-start vector cache).
 
 CI runs the ``--smoke`` variant and fails on crash only, never on
 regression — absolute numbers depend on the runner, so the JSON artifact
-is for humans (and future tooling) to diff, not a gate.
+is for humans (and future tooling) to diff, not a gate.  The artifact is
+a *trajectory*: each run appends an entry (old single-entry files are
+wrapped), so regressions across PRs stay visible in the diff.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -30,8 +35,9 @@ from pathlib import Path
 from repro.compression.labels import MeanScaledThreshold
 from repro.compression.propagation import LabelPropagation
 from repro.core import make_planner
+from repro.core.config import PlannerConfig
 from repro.graphs.generators import random_connected_graph
-from repro.service import PlanService, ServiceConfig
+from repro.service import PlanService, ServiceConfig, plan_digest
 from repro.spectral.fiedler import FiedlerSolver
 from repro.workloads.multiuser import build_mec_system
 from repro.workloads.profiles import quick_profile
@@ -78,25 +84,61 @@ def bench_service(executor: str, arrivals, workers: int, strategy: str = "spectr
 
 
 def bench_label_propagation(n_nodes: int, repeats: int, seed: int = 0) -> dict:
-    """Dict vs CSR label-propagation kernel on one large random graph."""
+    """Dict vs CSR vs numpy label-propagation kernels on one large graph."""
     graph = random_connected_graph(n_nodes, min(3 * n_nodes, n_nodes * (n_nodes - 1) // 2), seed=seed)
     timings: dict[str, float] = {}
     reports = {}
-    for kernel in ("dict", "csr"):
+    for kernel in ("dict", "csr", "numpy"):
         propagation = LabelPropagation(MeanScaledThreshold(1.0), kernel=kernel)
         reports[kernel] = propagation.run(graph)
         timings[kernel] = _best_of(repeats, lambda p=propagation: p.run(graph))
-    identical = reports["dict"].labels == reports["csr"].labels
-    if not identical:
-        raise RuntimeError("dict and csr label-propagation kernels disagree")
+    for kernel in ("csr", "numpy"):
+        if reports["dict"].labels != reports[kernel].labels:
+            raise RuntimeError(f"dict and {kernel} label-propagation kernels disagree")
     return {
         "n_nodes": n_nodes,
         "n_edges": graph.edge_count,
         "dict_seconds": timings["dict"],
         "csr_seconds": timings["csr"],
+        "numpy_seconds": timings["numpy"],
         "csr_speedup": timings["dict"] / timings["csr"] if timings["csr"] > 0 else 0.0,
-        "labels_identical": identical,
+        "numpy_speedup": timings["dict"] / timings["numpy"] if timings["numpy"] > 0 else 0.0,
+        "labels_identical": True,
         "rounds": reports["csr"].rounds,
+    }
+
+
+def bench_greedy_kernel(n_users: int, graph_size: int, repeats: int, seed: int = 2) -> dict:
+    """Python vs numpy greedy candidate-scan inside a full multi-user plan."""
+    profile = dataclasses.replace(
+        quick_profile(),
+        distinct_graphs=4,
+        multiuser_graph_size=graph_size,
+        seed=2019 + seed,
+    )
+    workload = build_mec_system(n_users, profile, graph_size=graph_size)
+    timings: dict[str, float] = {}
+    digests: dict[str, dict[str, str]] = {}
+    for kernel in ("python", "numpy"):
+        planner = make_planner("spectral", PlannerConfig(greedy_kernel=kernel))
+        result = planner.plan_system(workload.system, workload.call_graphs)
+        digests[kernel] = {
+            user: plan_digest(plan) for user, plan in result.user_plans.items()
+        }
+        timings[kernel] = _best_of(
+            repeats,
+            lambda p=planner: p.plan_system(workload.system, workload.call_graphs),
+        )
+    identical = digests["python"] == digests["numpy"]
+    if not identical:
+        raise RuntimeError("python and numpy greedy kernels produced different plans")
+    return {
+        "n_users": n_users,
+        "graph_size": graph_size,
+        "python_seconds": timings["python"],
+        "numpy_seconds": timings["numpy"],
+        "numpy_speedup": timings["python"] / timings["numpy"] if timings["numpy"] > 0 else 0.0,
+        "plans_identical": identical,
     }
 
 
@@ -119,6 +161,29 @@ def bench_fiedler_warm_start(n_nodes: int, repeats: int, seed: int = 1) -> dict:
         "warm_hits": warm.warm_hits,
         "lambda2_rel_diff": abs(cold_result.value - warm_result.value) / scale,
     }
+
+
+def _append_trajectory(path: Path, entry: dict, keep: int = 20) -> dict:
+    """Fold *entry* into the trajectory file at *path*.
+
+    Older files held a single run as a flat dict; those are wrapped as
+    the first trajectory entry so history is preserved.  Only the last
+    *keep* entries are retained.
+    """
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = None
+        if isinstance(previous, dict):
+            if isinstance(previous.get("trajectory"), list):
+                trajectory = previous["trajectory"]
+            else:
+                previous.pop("benchmark", None)
+                trajectory = [previous]
+    trajectory.append(entry)
+    return {"benchmark": "hotpath", "trajectory": trajectory[-keep:]}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,11 +221,22 @@ def main(argv: list[str] | None = None) -> int:
         else 0.0
     )
     label_propagation = bench_label_propagation(args.label_nodes, args.repeats, seed=args.seed)
+    greedy = bench_greedy_kernel(
+        max(8, args.requests // 2), args.graph_size, args.repeats, seed=args.seed + 2
+    )
     fiedler = bench_fiedler_warm_start(args.label_nodes, args.repeats, seed=args.seed + 1)
 
-    payload = {
-        "benchmark": "hotpath",
+    cpu_count = os.cpu_count() or 1
+    entry = {
         "smoke": args.smoke,
+        "cpu_count": cpu_count,
+        "note": (
+            "host has <4 cores: the process executor cannot beat the thread "
+            "executor here; the >=1.5x process-speedup criterion applies on "
+            ">=4-core runners"
+            if cpu_count < 4
+            else ""
+        ),
         "config": {
             "requests": args.requests,
             "pool": args.pool,
@@ -173,9 +249,10 @@ def main(argv: list[str] | None = None) -> int:
         "service": service,
         "process_vs_thread_speedup": process_speedup,
         "label_propagation": label_propagation,
+        "greedy_kernel": greedy,
         "fiedler_warm_start": fiedler,
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    args.output.write_text(json.dumps(_append_trajectory(args.output, entry), indent=2) + "\n")
 
     print(
         f"service: thread {service['thread']['plans_per_sec']:.1f} plans/s, "
@@ -186,7 +263,15 @@ def main(argv: list[str] | None = None) -> int:
         f"label propagation ({label_propagation['n_nodes']} nodes): "
         f"dict {label_propagation['dict_seconds'] * 1e3:.2f}ms, "
         f"csr {label_propagation['csr_seconds'] * 1e3:.2f}ms "
-        f"({label_propagation['csr_speedup']:.2f}x, labels identical)"
+        f"({label_propagation['csr_speedup']:.2f}x), "
+        f"numpy {label_propagation['numpy_seconds'] * 1e3:.2f}ms "
+        f"({label_propagation['numpy_speedup']:.2f}x, labels identical)"
+    )
+    print(
+        f"greedy scan ({greedy['n_users']} users): "
+        f"python {greedy['python_seconds'] * 1e3:.2f}ms, "
+        f"numpy {greedy['numpy_seconds'] * 1e3:.2f}ms "
+        f"({greedy['numpy_speedup']:.2f}x, plans identical)"
     )
     print(
         f"fiedler sparse ({fiedler['n_nodes']} nodes): "

@@ -43,6 +43,28 @@ class FunctionCallGraph:
         self._graph = WeightedGraph()
         self._info: dict[str, FunctionInfo] = {}
 
+    @classmethod
+    def from_parts(
+        cls,
+        app_name: str,
+        graph: WeightedGraph,
+        info: dict[str, FunctionInfo],
+    ) -> "FunctionCallGraph":
+        """Reassemble a call graph from a prebuilt graph and metadata map.
+
+        Codec entry point (shared-memory transfer, serialization): *graph*
+        and *info* are adopted as-is, so the caller is responsible for
+        their consistency — every graph node must appear in *info* with a
+        matching computation weight, and iteration orders are taken
+        verbatim (decoders reconstruct insertion order deliberately).
+        """
+        if set(info) != set(graph.node_list()):
+            raise ValueError("info keys must match graph nodes exactly")
+        fcg = cls(app_name)
+        fcg._graph = graph
+        fcg._info = info
+        return fcg
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

@@ -144,8 +144,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--spill", type=Path, default=None, help="plan-cache JSON spill file"
     )
     serve.add_argument(
+        "--compression-kernel",
+        choices=["dict", "csr", "numpy", "auto"],
+        default="auto",
+        help="label-propagation kernel (all bit-identical)",
+    )
+    serve.add_argument(
+        "--greedy-kernel",
+        choices=["python", "numpy", "auto"],
+        default="auto",
+        help="Algorithm 2 candidate-scan kernel (all bit-identical)",
+    )
+    serve.add_argument(
         "--smoke", action="store_true",
         help="tiny fast path (24 requests, 4 apps of 40 functions) for CI",
+    )
+
+    http = sub.add_parser(
+        "serve-http", help="expose the plan service over an HTTP frontend"
+    )
+    http.add_argument("--host", default="127.0.0.1")
+    http.add_argument("--port", type=int, default=8753)
+    http.add_argument("--workers", type=int, default=2)
+    http.add_argument("--executor", choices=["thread", "process"], default="thread")
+    http.add_argument(
+        "--strategy", choices=["spectral", "maxflow", "kl"], default="spectral"
+    )
+    http.add_argument("--cache-capacity", type=int, default=256)
+    http.add_argument(
+        "--spill", type=Path, default=None, help="plan-cache JSON spill file"
     )
 
     fleet = sub.add_parser(
@@ -512,6 +539,8 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     import dataclasses
 
+    from repro.compression.compressor import CompressionConfig
+    from repro.core.config import PlannerConfig
     from repro.service import PlanService, ServiceConfig, plan_digest
     from repro.utils.timer import Stopwatch
     from repro.workloads.multiuser import build_mec_system
@@ -519,6 +548,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.smoke:
         args.requests, args.pool, args.graph_size, args.workers = 24, 4, 40, 2
+
+    planner_config = PlannerConfig(
+        compression=CompressionConfig(kernel=args.compression_kernel),
+        greedy_kernel=args.greedy_kernel,
+    )
 
     profile = dataclasses.replace(
         quick_profile(),
@@ -536,7 +570,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     digests_by_executor: dict[str, dict[str, str]] = {}
 
     for executor in executors:
-        planner = make_planner(args.strategy)
+        planner = make_planner(args.strategy, config=planner_config)
         config = ServiceConfig(
             workers=args.workers,
             executor=executor,
@@ -567,7 +601,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         # Parity check: a cold plan of each pool app (planned fresh by a
         # separate planner) must serialise byte-identically to what the
         # service answered from its cache.
-        parity_planner = make_planner(args.strategy)
+        parity_planner = make_planner(args.strategy, config=planner_config)
         identical = sum(
             1
             for app in workload.distinct_graphs
@@ -607,6 +641,30 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         if not match:
             return 1
+    return 0
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    from repro.service import HttpFrontendThread, PlanService, ServiceConfig
+
+    planner = make_planner(args.strategy)
+    config = ServiceConfig(
+        workers=args.workers,
+        executor=args.executor,
+        cache_capacity=args.cache_capacity,
+        spill_path=str(args.spill) if args.spill is not None else None,
+    )
+    with PlanService(planner, config) as service:
+        frontend = HttpFrontendThread(service, host=args.host, port=args.port)
+        port = frontend.start()
+        print(f"plan service listening on http://{args.host}:{port}")
+        print("POST /plan | POST /submit | GET /result/<id> | GET /metrics | GET /healthz")
+        try:
+            frontend.join()  # serve until interrupted
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            frontend.close()
     return 0
 
 
@@ -841,6 +899,7 @@ _COMMANDS = {
     "compress": cmd_compress,
     "verify": cmd_verify,
     "serve-bench": cmd_serve_bench,
+    "serve-http": cmd_serve_http,
     "fleet-bench": cmd_fleet_bench,
     "lint": cmd_lint,
 }

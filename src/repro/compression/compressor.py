@@ -35,7 +35,8 @@ class CompressionConfig:
     ``alpha_threshold`` and ``max_rounds`` are the paper's ``alpha_t`` and
     ``beta_t``; ``threshold_rule`` supplies the coupling threshold ``w``.
     ``kernel`` selects the propagation implementation (``"dict"``,
-    ``"csr"`` or ``"auto"``); both produce bit-identical labels.
+    ``"csr"``, ``"numpy"`` or ``"auto"``); all produce bit-identical
+    labels.
     """
 
     threshold_rule: ThresholdRule = field(default_factory=QuantileThreshold)

@@ -155,8 +155,7 @@ class CSRGraph:
         mask = np.zeros(self.node_count, dtype=bool)
         for node in part:
             mask[self.index[node]] = True
-        rows = np.repeat(np.arange(self.node_count), np.diff(self.indptr))
-        crossing = mask[rows] & ~mask[self.indices]
+        crossing = mask[self.incidence_rows()] & ~mask[self.indices]
         return float(self.edge_weight[crossing].sum())
 
     def __len__(self) -> int:
@@ -178,19 +177,26 @@ class CSRGraph:
         """Unweighted degree per node (``int64[n]``)."""
         return np.diff(self.indptr)
 
+    def incidence_rows(self) -> np.ndarray:
+        """Source-node index of every incidence (``int64[2m]``).
+
+        ``incidence_rows()[k]`` is the node whose incidence slice contains
+        position ``k`` — the row array pairing with :attr:`indices` /
+        :attr:`edge_weight` that every scatter/gather kernel needs.
+        """
+        return np.repeat(np.arange(self.node_count), np.diff(self.indptr))
+
     def weighted_degrees(self) -> np.ndarray:
         """Weighted degree per node — the Laplacian diagonal."""
-        rows = np.repeat(np.arange(self.node_count), np.diff(self.indptr))
         return np.bincount(
-            rows, weights=self.edge_weight, minlength=self.node_count
+            self.incidence_rows(), weights=self.edge_weight, minlength=self.node_count
         )
 
     def adjacency_matrix(self) -> np.ndarray:
         """Dense weighted adjacency ``A`` aligned with :attr:`nodes`."""
         n = self.node_count
         matrix = np.zeros((n, n), dtype=float)
-        rows = np.repeat(np.arange(n), np.diff(self.indptr))
-        matrix[rows, self.indices] = self.edge_weight
+        matrix[self.incidence_rows(), self.indices] = self.edge_weight
         return matrix
 
     def laplacian_matrix(self) -> np.ndarray:
@@ -207,6 +213,37 @@ class CSRGraph:
             dtype=np.float64,
         )
         return (off_diagonal + sparse.diags(self.weighted_degrees(), format="csr")).tocsr()
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def to_weighted_graph(self) -> WeightedGraph:
+        """Thaw the snapshot back into a :class:`WeightedGraph`.
+
+        The reconstruction is *order-exact*: node insertion order matches
+        :attr:`nodes` and every per-node adjacency dict is populated in
+        incidence order — which :meth:`from_graph` recorded as the source
+        graph's adjacency-dict insertion order.  Replaying ``add_edge``
+        calls cannot achieve this (an edge insert writes both endpoint
+        dicts at once, interleaving their orders), so the adjacency map is
+        rebuilt directly.  Deterministic consumers (label propagation,
+        traversals) therefore see the identical iteration order on the
+        thawed graph — the property the zero-copy process transfer relies
+        on for bit-identical plans.
+        """
+        graph = WeightedGraph()
+        for i, node in enumerate(self.nodes):
+            graph.add_node(node, weight=float(self.node_weight[i]))
+        adjacency = graph._adjacency
+        nodes = self.nodes
+        indptr = self.indptr
+        indices = self.indices
+        edge_weight = self.edge_weight
+        for i, node in enumerate(nodes):
+            row = adjacency[node]
+            for k in range(int(indptr[i]), int(indptr[i + 1])):
+                row[nodes[indices[k]]] = float(edge_weight[k])
+        return graph
 
     # ------------------------------------------------------------------
     # Identity

@@ -37,12 +37,28 @@ from repro.service.fingerprint import (
     request_fingerprint,
     structural_fingerprint,
 )
+from repro.service.http import (
+    HttpFrontend,
+    HttpFrontendThread,
+    PayloadError,
+    graph_to_payload,
+    make_fastapi_app,
+    parse_graph_payload,
+    response_to_dict,
+)
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.plan_cache import (
     PlanCache,
     plan_digest,
     plan_from_dict,
     plan_to_dict,
+)
+from repro.service.shm import (
+    GraphRef,
+    SegmentLostError,
+    SharedGraphStore,
+    decode_call_graph,
+    encode_call_graph,
 )
 from repro.service.server import (
     PlanResponse,
@@ -77,4 +93,16 @@ __all__ = [
     "EXECUTOR_MODES",
     "PlanningBackend",
     "process_pool_supported",
+    "HttpFrontend",
+    "HttpFrontendThread",
+    "PayloadError",
+    "graph_to_payload",
+    "make_fastapi_app",
+    "parse_graph_payload",
+    "response_to_dict",
+    "GraphRef",
+    "SegmentLostError",
+    "SharedGraphStore",
+    "decode_call_graph",
+    "encode_call_graph",
 ]

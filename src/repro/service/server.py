@@ -138,6 +138,11 @@ class PlanTicket:
     def key(self) -> str:
         return self._request.key
 
+    @property
+    def done(self) -> bool:
+        """Whether the flight has settled (poll without blocking)."""
+        return self._flight.done
+
     def result(self, timeout: float | None = None) -> PlanResponse:
         """Wait for the outcome (default timeout from the service config).
 
@@ -200,6 +205,7 @@ class PlanService:
             strategy_name=planner.strategy_name,
             config=planner.config,
             processes=self.config.workers,
+            warm_source=planner,
         )
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -302,23 +308,82 @@ class PlanService:
                     return
                 continue
             self.metrics.histogram("batch_size").observe(len(batch))
-            for flight in batch:
-                self._serve_flight(flight)
+            if self.backend.pooled and len(batch) > 1:
+                self._serve_batch(batch)
+            else:
+                for flight in batch:
+                    self._serve_flight(flight)
             self.metrics.gauge("queue_depth").set(self.queue.depth)
 
     def _serve_flight(self, flight: Flight) -> None:
         """Plan one flight; every failure mode becomes a structured result."""
-        request = flight.requests[0]
         started = time.perf_counter()
-        cached = False
         error: ServiceError | None = None
         plan = self.cache.get(flight.key)
-        if plan is not None:
-            cached = True
-        else:
-            plan, error = self._plan_guarded(request.graph)
+        cached = plan is not None
+        if plan is None:
+            plan, error = self._plan_guarded(flight.requests[0].graph)
+        self._finish_flight(flight, plan, error, cached, started)
+
+    def _serve_batch(self, batch: list[Flight]) -> None:
+        """Plan a drained batch through the pooled backend in one pipeline.
+
+        Cache hits and invalid graphs settle immediately; the remaining
+        cold flights ship as a single sequence-numbered batch, so one
+        IPC pipeline carries the whole drain instead of one round-trip
+        per flight.  A per-graph batch failure falls back to the guarded
+        single-plan path, which owns the retry budget (the batch attempt
+        counts as the first try).  Thread-mode never reaches here: a
+        batch barrier would delay early flights for no throughput gain.
+        """
+        started = time.perf_counter()
+        cold: list[Flight] = []
+        for flight in batch:
+            plan = self.cache.get(flight.key)
             if plan is not None:
-                self.cache.put(flight.key, plan)
+                self._finish_flight(flight, plan, None, True, started)
+                continue
+            invalid = self._validate(flight.requests[0].graph)
+            if invalid is not None:
+                self._finish_flight(flight, None, invalid, False, started)
+                continue
+            cold.append(flight)
+        if not cold:
+            return
+        if len(cold) == 1:
+            flight = cold[0]
+            plan, error = self._plan_guarded(flight.requests[0].graph, validated=True)
+            self._finish_flight(flight, plan, error, False, started)
+            return
+        graphs = [flight.requests[0].graph for flight in cold]
+        with self._invocation_lock:
+            self._invocations += len(graphs)
+        settled = self.backend.plan_many_settled(self.planner, graphs)
+        for flight, (plan, exc) in zip(cold, settled):
+            error = None
+            if plan is None:
+                if self.config.retries > 0:
+                    self.metrics.counter("planner_retries").inc()
+                    plan, error = self._plan_guarded(
+                        flight.requests[0].graph, validated=True, attempts_used=1
+                    )
+                else:
+                    error = ServiceError(
+                        "internal", f"{type(exc).__name__}: {exc}" if exc else "planner failed"
+                    )
+            self._finish_flight(flight, plan, error, False, started)
+
+    def _finish_flight(
+        self,
+        flight: Flight,
+        plan: UserPlan | None,
+        error: ServiceError | None,
+        cached: bool,
+        started: float,
+    ) -> None:
+        """Publish one flight's outcome: cache, metrics, resolve, dequeue."""
+        if plan is not None and not cached:
+            self.cache.put(flight.key, plan)
         if error is not None:
             self.metrics.counter("requests_errored").inc()
             self.metrics.counter(f"errors_{error.code}").inc()
@@ -328,7 +393,7 @@ class PlanService:
         self.metrics.histogram("service_seconds").observe(time.perf_counter() - started)
         flight.resolve(
             PlanResponse(
-                request_id=request.request_id,
+                request_id=flight.requests[0].request_id,
                 key=flight.key,
                 plan=plan,
                 error=error,
@@ -337,16 +402,28 @@ class PlanService:
         )
         self.queue.mark_resolved(flight)
 
+    def _validate(self, graph: FunctionCallGraph) -> ServiceError | None:
+        """Structural invariant check, as a structured error."""
+        if not self.config.validate_graphs:
+            return None
+        try:
+            check_graph_invariants(graph.graph)
+        except AssertionError as exc:
+            self.metrics.counter("requests_shed").inc()
+            return ServiceError("invalid-graph", str(exc))
+        return None
+
     def _plan_guarded(
-        self, graph: FunctionCallGraph
+        self,
+        graph: FunctionCallGraph,
+        validated: bool = False,
+        attempts_used: int = 0,
     ) -> tuple[UserPlan | None, ServiceError | None]:
-        if self.config.validate_graphs:
-            try:
-                check_graph_invariants(graph.graph)
-            except AssertionError as exc:
-                self.metrics.counter("requests_shed").inc()
-                return None, ServiceError("invalid-graph", str(exc))
-        attempts = 1 + self.config.retries
+        if not validated:
+            invalid = self._validate(graph)
+            if invalid is not None:
+                return None, invalid
+        attempts = max(1, 1 + self.config.retries - attempts_used)
         last_error = "planner failed"
         for attempt in range(attempts):
             try:

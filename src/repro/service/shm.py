@@ -1,0 +1,331 @@
+"""Zero-copy call-graph transfer for the process planning backend.
+
+``Pool.apply(graph)`` pays the full pickle round-trip per plan: the
+dict-of-dict :class:`~repro.graphs.weighted_graph.WeightedGraph` pickles
+node by node, edge by edge, through a pipe, then unpickles into fresh
+dicts on the worker side — at smoke scale that costs ~10x the actual
+planning work.  This module replaces the payload with a flat binary
+codec plus a shared-memory registry:
+
+* :func:`encode_call_graph` packs a :class:`FunctionCallGraph` into one
+  contiguous buffer — a small JSON header (names, components,
+  offloadability) followed by the 8-byte-aligned CSR arrays
+  (``indptr``/``indices``/``edge_weight``/``computation``) exactly as
+  :class:`~repro.graphs.csr.CSRGraph` lays them out;
+* :class:`SharedGraphStore` publishes encoded graphs into
+  ``multiprocessing.shared_memory`` segments keyed by content
+  fingerprint, so repeated submissions of a known graph ship only the
+  ~100-byte :class:`GraphRef` (key + segment name) instead of the graph;
+* :func:`resolve_ref` attaches on the worker side and rebuilds the graph
+  through ``np.frombuffer`` *views* over the segment — the arrays are
+  never copied; only the final thaw into the planner's dict
+  representation materialises Python objects (the planner consumes
+  ``WeightedGraph``, so that step is inherent, and it preserves
+  insertion/adjacency order bit-for-bit via
+  :meth:`~repro.graphs.csr.CSRGraph.to_weighted_graph`).
+
+When shared memory is unavailable (or a segment was evicted before a
+queued task ran) the same encoded buffer travels inline as a single
+contiguous ``bytes`` payload: pickle protocol 5 — the default since
+CPython 3.8, and what ``multiprocessing``'s ``ForkingPickler`` speaks —
+serialises it with one flat copy instead of a per-edge object walk.
+(True out-of-band ``PickleBuffer`` transfer needs a ``buffer_callback``,
+which ``Pool``'s pipe protocol does not expose; the single-blob inline
+form is the closest reachable point and is the documented fallback.)
+
+Lifecycle discipline (checked by ``repro-lint``'s
+``poolsafety/shm-unlink`` rule): every segment this module creates is
+``close()``-d *and* ``unlink()``-ed exactly once — on LRU eviction or on
+:meth:`SharedGraphStore.close` — and worker-side attachments are
+``close()``-d before the task returns.  Nothing outlives the store.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.callgraph.model import FunctionCallGraph, FunctionInfo
+from repro.graphs.csr import CSRGraph
+from repro.service.fingerprint import graph_fingerprint
+
+_MAGIC = b"RPG1"
+_ALIGN = 8
+
+DEFAULT_STORE_CAPACITY = 128
+"""Segments kept live per store; one segment per *distinct* graph, so
+this bounds parent-side shared memory at (capacity x largest graph)."""
+
+
+class SegmentLostError(RuntimeError):
+    """A worker tried to attach a segment the parent already evicted."""
+
+
+def _pad(length: int) -> int:
+    return (-length) % _ALIGN
+
+
+def encode_call_graph(call_graph: FunctionCallGraph) -> bytes:
+    """Pack *call_graph* into one contiguous, alignment-safe buffer."""
+    names = call_graph.graph.node_list()
+    csr = CSRGraph.from_graph(call_graph.graph)
+    components: list[str] = []
+    offloadable: list[int] = []
+    for name in names:
+        info = call_graph.info(str(name))
+        components.append(info.component)
+        offloadable.append(1 if info.offloadable else 0)
+    header = json.dumps(
+        {
+            "app": call_graph.app_name,
+            "names": [str(name) for name in names],
+            "components": components,
+            "offloadable": offloadable,
+            "n": csr.node_count,
+            "m2": int(csr.indices.shape[0]),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [
+        _MAGIC,
+        struct.pack("<I", len(header)),
+        header,
+        b"\x00" * _pad(len(_MAGIC) + 4 + len(header)),
+        csr.indptr.tobytes(),
+        csr.indices.tobytes(),
+        csr.edge_weight.tobytes(),
+        csr.node_weight.tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def decode_call_graph(buffer: "bytes | memoryview") -> FunctionCallGraph:
+    """Rebuild the call graph from an encoded buffer.
+
+    The CSR arrays are read as ``np.frombuffer`` views — zero copies —
+    and thawed into the dict representation with exact insertion and
+    adjacency order, so a decoded graph plans bit-identically to the
+    original.  Nothing in the returned graph references *buffer*; the
+    caller may release the underlying segment immediately.
+    """
+    view = memoryview(buffer)
+    if bytes(view[:4]) != _MAGIC:
+        raise ValueError("buffer does not hold an encoded call graph")
+    (header_len,) = struct.unpack("<I", view[4:8])
+    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    names: list[str] = list(header["names"])
+    components: list[str] = list(header["components"])
+    offloadable: list[int] = list(header["offloadable"])
+    n = int(header["n"])
+    m2 = int(header["m2"])
+    if len(names) != n or len(components) != n or len(offloadable) != n:
+        raise ValueError("encoded header is inconsistent with its node count")
+
+    offset = 8 + header_len + _pad(8 + header_len)
+    indptr: np.ndarray = np.frombuffer(view, dtype=np.int64, count=n + 1, offset=offset)
+    offset += indptr.nbytes
+    indices: np.ndarray = np.frombuffer(view, dtype=np.int64, count=m2, offset=offset)
+    offset += indices.nbytes
+    edge_weight: np.ndarray = np.frombuffer(view, dtype=np.float64, count=m2, offset=offset)
+    offset += edge_weight.nbytes
+    node_weight: np.ndarray = np.frombuffer(view, dtype=np.float64, count=n, offset=offset)
+
+    csr = CSRGraph(list(names), indptr, indices, edge_weight, node_weight)
+    graph = csr.to_weighted_graph()
+    info: dict[str, FunctionInfo] = {}
+    for i, name in enumerate(names):
+        info[name] = FunctionInfo(
+            name=name,
+            computation=float(node_weight[i]),
+            component=components[i],
+            offloadable=bool(offloadable[i]),
+        )
+        graph.node_data(name)["component"] = components[i]
+    return FunctionCallGraph.from_parts(str(header["app"]), graph, info)
+
+
+@dataclass(frozen=True)
+class GraphRef:
+    """Transferable handle to an encoded graph.
+
+    ``segment`` names a live shared-memory segment holding the encoding;
+    when ``None``, ``payload`` carries the encoding inline (the pickle-5
+    single-blob fallback).  ``key`` is the content fingerprint — worker
+    processes cache decoded graphs under it, so a repeated structure is
+    decoded once per worker no matter how many refs name it.
+    """
+
+    key: str
+    size: int
+    segment: str | None = None
+    payload: bytes | None = None
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Drop the attach-side resource-tracker registration (3.11 quirk).
+
+    CPython < 3.13 registers a segment with the resource tracker on
+    *attach* as well as on create.  Under ``spawn`` the attaching worker
+    runs its *own* tracker, which unlinks everything it knows about when
+    the worker exits — yanking live segments out from under the parent.
+    Ownership here is strictly parent-side, so spawn-context workers
+    unregister after attaching.  Fork workers must NOT: they share the
+    parent's tracker process, and unregistering there would erase the
+    parent's own leak protection (the registration is one shared entry).
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except (AttributeError, KeyError, FileNotFoundError):  # pragma: no cover
+        pass
+
+
+def resolve_ref(ref: GraphRef, untrack: bool = False) -> FunctionCallGraph:
+    """Worker-side: materialise the call graph a :class:`GraphRef` names.
+
+    Raises :class:`SegmentLostError` when the segment has been evicted —
+    the submitter retries with an inline payload.  *untrack* must be True
+    exactly when the caller is a spawn-context worker (see
+    :func:`_untrack`).
+    """
+    if ref.segment is None:
+        if ref.payload is None:
+            raise ValueError(f"ref {ref.key} carries neither segment nor payload")
+        return decode_call_graph(ref.payload)
+    try:
+        segment = shared_memory.SharedMemory(name=ref.segment)
+    except FileNotFoundError as exc:
+        raise SegmentLostError(
+            f"segment {ref.segment} for graph {ref.key[:12]} is gone"
+        ) from exc
+    try:
+        if untrack:
+            _untrack(segment)
+        view = segment.buf[: ref.size]
+        try:
+            return decode_call_graph(view)
+        finally:
+            # Release the exported view before close(); a live export
+            # makes SharedMemory.close() raise BufferError.
+            view.release()
+    finally:
+        segment.close()
+
+
+class SharedGraphStore:
+    """Parent-side LRU registry of published graph segments.
+
+    ``publish`` returns a :class:`GraphRef` for a graph, creating (or
+    reusing) a shared-memory segment keyed by content fingerprint.  The
+    store owns every segment it creates: eviction and :meth:`close` both
+    ``close()`` + ``unlink()``.  All methods are thread-safe — service
+    worker threads publish concurrently.
+
+    If segment creation fails (platforms without ``/dev/shm``, exhausted
+    shm quota), the store degrades permanently to inline refs; planning
+    stays correct, only the zero-copy fast path is lost.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_STORE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._segments: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._disabled = False
+        self._closed = False
+        self.publishes = 0
+        self.reuses = 0
+        self.evictions = 0
+        self.inline_fallbacks = 0
+
+    def publish(self, call_graph: FunctionCallGraph) -> GraphRef:
+        """Return a ref for *call_graph*, creating its segment on first use."""
+        key = graph_fingerprint(call_graph)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("store is closed")
+            existing = self._segments.get(key)
+            if existing is not None:
+                self._segments.move_to_end(key)
+                self.reuses += 1
+                return GraphRef(key=key, size=self._sizes[key], segment=existing.name)
+        blob = encode_call_graph(call_graph)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("store is closed")
+            existing = self._segments.get(key)
+            if existing is not None:  # raced with another publisher
+                self._segments.move_to_end(key)
+                self.reuses += 1
+                return GraphRef(key=key, size=self._sizes[key], segment=existing.name)
+            if not self._disabled:
+                try:
+                    segment = shared_memory.SharedMemory(create=True, size=len(blob))
+                except OSError:
+                    self._disabled = True
+                else:
+                    segment.buf[: len(blob)] = blob
+                    self._segments[key] = segment
+                    self._sizes[key] = len(blob)
+                    self.publishes += 1
+                    while len(self._segments) > self.capacity:
+                        evicted_key, evicted = self._segments.popitem(last=False)
+                        self._sizes.pop(evicted_key, None)
+                        evicted.close()
+                        evicted.unlink()
+                        self.evictions += 1
+                    return GraphRef(key=key, size=len(blob), segment=segment.name)
+            self.inline_fallbacks += 1
+            return GraphRef(key=key, size=len(blob), payload=blob)
+
+    def inline_ref(self, call_graph: FunctionCallGraph) -> GraphRef:
+        """Encode *call_graph* as an inline ref, bypassing shared memory.
+
+        The retry path after :class:`SegmentLostError`: an inline payload
+        cannot be evicted underneath a queued task.
+        """
+        blob = encode_call_graph(call_graph)
+        with self._lock:
+            self.inline_fallbacks += 1
+        return GraphRef(key=graph_fingerprint(call_graph), size=len(blob), payload=blob)
+
+    def close(self) -> None:
+        """Unlink every live segment; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._segments:
+                _, segment = self._segments.popitem(last=False)
+                segment.close()
+                segment.unlink()
+            self._sizes.clear()
+
+    def __enter__(self) -> "SharedGraphStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def live_segments(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+
+__all__ = [
+    "DEFAULT_STORE_CAPACITY",
+    "GraphRef",
+    "SegmentLostError",
+    "SharedGraphStore",
+    "decode_call_graph",
+    "encode_call_graph",
+    "resolve_ref",
+]

@@ -195,6 +195,33 @@ class FiedlerSolver:
             while len(self._warm_cache) > self.warm_cache_size:
                 self._warm_cache.popitem(last=False)
 
+    def export_warm_entries(self) -> list[tuple[str, np.ndarray]]:
+        """Snapshot the warm-start cache, oldest first.
+
+        The entries are copies: the snapshot can cross a process boundary
+        (process-pool workers are primed with the parent's cache, so a
+        fresh worker converges as fast as the parent thread would) without
+        sharing mutable state.
+        """
+        with self._warm_lock:
+            return [
+                (signature, np.array(vector, dtype=float))
+                for signature, vector in self._warm_cache.items()
+            ]
+
+    def prime_warm_entries(self, entries: Sequence[tuple[str, np.ndarray]]) -> int:
+        """Seed the warm-start cache with exported entries; returns count kept.
+
+        Entries are inserted oldest-first so LRU order survives the
+        round-trip.  Priming never toggles :attr:`warm_start` — a solver
+        configured for bit-exact cold solves stays bit-exact.
+        """
+        kept = 0
+        for signature, vector in entries:
+            self._warm_store(signature, vector)
+            kept += 1
+        return kept
+
     # ------------------------------------------------------------------
     # Backends
     # ------------------------------------------------------------------

@@ -10,9 +10,11 @@ iterate path (Fiedler warm starts).
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -23,14 +25,15 @@ from repro.compression.labels import (
     QuantileThreshold,
 )
 from repro.compression.propagation import LabelPropagation, TraversalPolicy
-from repro.core import make_planner
+from repro.core import PlannerConfig, make_planner
 from repro.fleet.fleet import EdgeFleet
 from repro.fleet.routing import make_routing_policy
 from repro.graphs import as_csr
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.mec.admission import EqualShareAllocation
 from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
-from repro.mec.greedy import PlacementEvaluator
+from repro.mec.greedy import PlacementEvaluator, generate_offloading_scheme
 from repro.mec.objective import ObjectiveWeights
 from repro.mec.scheme import PartitionedApplication
 from repro.mec.system import MECSystem, UserContext
@@ -41,6 +44,8 @@ from repro.service import (
     plan_digest,
 )
 from repro.spectral.fiedler import FiedlerSolver
+from repro.workloads.multiuser import build_mec_system
+from repro.workloads.profiles import quick_profile
 
 THRESHOLD_RULES = [
     MeanScaledThreshold(1.0),
@@ -90,13 +95,14 @@ class TestLabelPropagationKernelParity:
         rule = THRESHOLD_RULES[rule_index]
         reports = {
             kernel: LabelPropagation(rule, policy=policy, kernel=kernel).run(graph)
-            for kernel in ("dict", "csr")
+            for kernel in ("dict", "csr", "numpy")
         }
-        assert reports["dict"].labels == reports["csr"].labels
-        assert reports["dict"].rounds == reports["csr"].rounds
-        assert reports["dict"].updates_per_round == reports["csr"].updates_per_round
-        assert reports["dict"].threshold == reports["csr"].threshold
-        assert reports["dict"].starter == reports["csr"].starter
+        for kernel in ("csr", "numpy"):
+            assert reports["dict"].labels == reports[kernel].labels
+            assert reports["dict"].rounds == reports[kernel].rounds
+            assert reports["dict"].updates_per_round == reports[kernel].updates_per_round
+            assert reports["dict"].threshold == reports[kernel].threshold
+            assert reports["dict"].starter == reports[kernel].starter
 
     def test_kernels_identical_on_disconnected_graphs(self):
         for seed in range(6):
@@ -109,18 +115,19 @@ class TestLabelPropagationKernelParity:
                     graph.add_edge(u + offset, v + offset, weight)
             reports = {
                 kernel: LabelPropagation(MeanScaledThreshold(1.0), kernel=kernel).run(graph)
-                for kernel in ("dict", "csr")
+                for kernel in ("dict", "csr", "numpy")
             }
-            assert reports["dict"].labels == reports["csr"].labels
-            assert reports["dict"].rounds == reports["csr"].rounds
+            for kernel in ("csr", "numpy"):
+                assert reports["dict"].labels == reports[kernel].labels
+                assert reports["dict"].rounds == reports[kernel].rounds
 
     def test_auto_kernel_matches_both_explicit_kernels(self):
         graph = random_connected_graph(120, 260, seed=1)
         labels = {
             kernel: LabelPropagation(MeanScaledThreshold(1.0), kernel=kernel).run(graph).labels
-            for kernel in ("dict", "csr", "auto")
+            for kernel in ("dict", "csr", "numpy", "auto")
         }
-        assert labels["auto"] == labels["dict"] == labels["csr"]
+        assert labels["auto"] == labels["dict"] == labels["csr"] == labels["numpy"]
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +238,104 @@ class TestGreedyEvaluatorParity:
             evaluator.apply_move("u1", rng.choice(sorted(evaluator.remote["u1"])))
             expected = scratch(evaluator.remote)
             assert abs(evaluator.combined() - expected) <= 1e-9 * max(1.0, abs(expected))
+
+
+# ----------------------------------------------------------------------
+# Greedy: vectorised candidate scan vs per-candidate scalar evaluation
+# ----------------------------------------------------------------------
+class TestGreedyKernelParity:
+    def _evaluator(self, app) -> PlacementEvaluator:
+        device = MobileDevice(
+            "u1",
+            profile=DeviceProfile(
+                compute_capacity=15.0, power_compute=1.0, power_transmit=5.0, bandwidth=80.0
+            ),
+        )
+        system = MECSystem(EdgeServer(total_capacity=200.0), [UserContext(device, app.call_graph)])
+        all_ids = {part.part_id for part in app.parts}
+        return PlacementEvaluator(system, {"u1": app}, {"u1": set(all_ids)}, ObjectiveWeights())
+
+    @given(app=partitioned_app(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_evaluate_moves_matches_scalar_exactly(self, app, seed):
+        # The vectorised scan must be bit-identical to the scalar loop —
+        # the greedy argmin ties on exact float equality, so "close" is
+        # not good enough.  Candidates are shuffled to exercise the
+        # per-user grouping logic against arbitrary orderings.
+        evaluator = self._evaluator(app)
+        rng = random.Random(seed)
+        while evaluator.remote["u1"]:
+            candidates = list(evaluator.candidates())
+            rng.shuffle(candidates)
+            batch = evaluator.evaluate_moves(candidates)
+            scalar = [evaluator.evaluate_move(user, part) for user, part in candidates]
+            assert batch == scalar
+            evaluator.apply_move("u1", rng.choice(sorted(evaluator.remote["u1"])))
+
+    @given(app=partitioned_app())
+    @settings(max_examples=10, deadline=None)
+    def test_evaluate_moves_non_fcfs_fallback_matches_scalar(self, app):
+        device = MobileDevice(
+            "u1",
+            profile=DeviceProfile(
+                compute_capacity=15.0, power_compute=1.0, power_transmit=5.0, bandwidth=80.0
+            ),
+        )
+        system = MECSystem(
+            EdgeServer(total_capacity=200.0),
+            [UserContext(device, app.call_graph)],
+            allocation=EqualShareAllocation(),
+        )
+        all_ids = {part.part_id for part in app.parts}
+        evaluator = PlacementEvaluator(
+            system, {"u1": app}, {"u1": set(all_ids)}, ObjectiveWeights()
+        )
+        candidates = list(evaluator.candidates())
+        batch = evaluator.evaluate_moves(candidates)
+        scalar = [evaluator.evaluate_move(user, part) for user, part in candidates]
+        assert batch == scalar
+
+    @given(app=partitioned_app(), exhaustive=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_scheme_parity_python_vs_numpy(self, app, exhaustive):
+        results = {}
+        for kernel in ("python", "numpy"):
+            device = MobileDevice(
+                "u1",
+                profile=DeviceProfile(
+                    compute_capacity=15.0,
+                    power_compute=1.0,
+                    power_transmit=5.0,
+                    bandwidth=80.0,
+                ),
+            )
+            system = MECSystem(
+                EdgeServer(total_capacity=200.0), [UserContext(device, app.call_graph)]
+            )
+            results[kernel] = generate_offloading_scheme(
+                system, {"u1": app}, {"u1": []}, exhaustive=exhaustive, kernel=kernel
+            )
+        python_result, numpy_result = results["python"], results["numpy"]
+        assert python_result.scheme.remote_for("u1") == numpy_result.scheme.remote_for("u1")
+        assert python_result.history == numpy_result.history
+        assert python_result.consumption.energy == numpy_result.consumption.energy
+        assert python_result.consumption.time == numpy_result.consumption.time
+
+    def test_full_plans_identical_python_vs_numpy(self):
+        profile = dataclasses.replace(
+            quick_profile(), distinct_graphs=3, multiuser_graph_size=24, seed=11
+        )
+        workload = build_mec_system(8, profile, graph_size=24)
+        results = {}
+        for kernel in ("python", "numpy"):
+            planner = make_planner("spectral", PlannerConfig(greedy_kernel=kernel))
+            results[kernel] = planner.plan_system(workload.system, workload.call_graphs)
+        python_result, numpy_result = results["python"], results["numpy"]
+        assert {
+            user: plan_digest(plan) for user, plan in python_result.user_plans.items()
+        } == {user: plan_digest(plan) for user, plan in numpy_result.user_plans.items()}
+        assert python_result.consumption.energy == numpy_result.consumption.energy
+        assert python_result.consumption.time == numpy_result.consumption.time
 
 
 # ----------------------------------------------------------------------
