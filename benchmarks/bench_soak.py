@@ -38,6 +38,7 @@ import time
 import urllib.request
 from pathlib import Path
 
+from repro.analysis.runtime import install_from_env
 from repro.core import make_planner
 from repro.service import (
     HttpFrontendThread,
@@ -81,6 +82,10 @@ def _http_round_trip(port: int, payload: dict) -> dict:
 
 def run_soak(args: argparse.Namespace) -> dict:
     """Run the churn horizon; return the JSON payload (with verdicts)."""
+    # With REPRO_LOCK_SANITIZER=1 every lock the serving stack creates
+    # below this point is order-tracked; any observed lock-order
+    # inversion fails the soak like any other invariant violation.
+    sanitizer = install_from_env()
     executor = args.executor
     executor_note = ""
     if executor == "process" and not process_pool_supported(args.strategy):
@@ -184,6 +189,16 @@ def run_soak(args: argparse.Namespace) -> dict:
             f"(ceiling {args.rss_ceiling_mb} MiB)"
         )
 
+    sanitizer_report = None
+    if sanitizer is not None:
+        sanitizer_report = sanitizer.report()
+        for inversion in sanitizer.inversions:
+            failures.append(
+                "lock-order inversion: "
+                f"{inversion.first.outer} -> {inversion.first.inner} "
+                f"reversed by {inversion.second.thread}"
+            )
+
     total_requests = sum(entry["requests"] for entry in rounds)
     total_ok = sum(entry["ok"] for entry in rounds)
     return {
@@ -221,6 +236,7 @@ def run_soak(args: argparse.Namespace) -> dict:
             "within_ceiling": within_ceiling,
         },
         "rounds": rounds,
+        "lock_sanitizer": sanitizer_report,
         "failures": failures,
         "passed": not failures and total_ok == total_requests and http_ok == http_requests,
     }

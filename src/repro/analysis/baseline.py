@@ -1,0 +1,92 @@
+"""Findings baseline: ship the engine now, ratchet legacy findings down.
+
+A new whole-program rule can surface findings in code that predates it.
+Blocking the rule on a full burn-down would delay the protection for
+*new* code; silently accepting the legacy findings would let new ones
+hide among them.  The baseline file is the middle path:
+
+* ``repro-lint --write-baseline FILE`` records every current finding's
+  fingerprint;
+* ``repro-lint --baseline FILE`` filters exactly those findings out of
+  the report (they are still counted, listed under ``baselined`` in the
+  JSON artifact) while any finding *not* in the file fails ``--strict``;
+* deleting entries (or the file) ratchets the debt down — a baselined
+  finding that gets fixed simply stops matching, and the stale entry is
+  harmless.
+
+Fingerprints hash ``(path, rule id, message)`` — deliberately not the
+line number, so unrelated edits shifting a finding up or down the file
+do not un-baseline it.  Paths are recorded as given on the command
+line; run the tool from the repository root (as CI does) for stable
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    blob = "\x00".join((finding.path, finding.rule_id, finding.message))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The fingerprint set in a baseline file.
+
+    Raises :class:`ValueError` on a malformed or wrong-version file —
+    a corrupt baseline must fail loudly, not silently accept everything.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline file {path} is not a version-{BASELINE_VERSION} baseline"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline file {path} has no entries list")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"baseline file {path} has a malformed entry")
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write the baseline for *findings*; returns the entry count.
+
+    Entries carry the human-readable context next to the fingerprint so
+    a reviewer can see what debt the file acknowledges without re-running
+    the tool.
+    """
+    entries = [
+        {
+            "fingerprint": finding_fingerprint(finding),
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda finding: finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "finding_fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

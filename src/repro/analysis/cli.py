@@ -1,21 +1,32 @@
 """The ``repro-lint`` command line.
 
 Scans the given paths with the built-in rule battery and prints
-findings as text (one per line, ``path:line rule message``) or JSON
-(the CI artifact schema).  Exit codes: ``0`` clean (or findings without
-``--strict``), ``1`` findings under ``--strict``, ``2`` bad invocation
-(unknown rule selector, missing path).
+findings as text (one per line, ``path:line rule message``), JSON (the
+CI artifact schema), or SARIF 2.1.0 (``--sarif``, for code-review
+ingestion).  Analysis parallelizes across ``--jobs`` worker threads
+(default: all cores) with findings guaranteed identical to a serial
+run.  A findings baseline (``--baseline`` / ``--write-baseline``, see
+:mod:`repro.analysis.baseline`) lets a new rule land before its legacy
+findings are burned down.
+
+Exit codes: ``0`` clean (or findings without ``--strict``), ``1``
+findings — errors *or* warnings — under ``--strict``, ``2`` bad
+invocation (unknown rule selector, missing path, corrupt baseline).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.engine import all_rules, analyze_paths, select_rules
+from repro.analysis.sarif import report_to_sarif
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -47,9 +58,38 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="also write the JSON report to FILE (the CI artifact)",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="also write the report as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze with N worker threads (default: all cores); "
+        "findings are identical for any N",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="divert findings recorded in FILE (see --write-baseline) out "
+        "of the failure set; they still appear under 'baselined' in the "
+        "JSON artifact",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record every current finding's fingerprint to FILE and exit 0",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit 1 if any finding remains after suppressions",
+        help="exit 1 if any finding (error or warning) remains after "
+        "suppressions and the baseline",
     )
     parser.add_argument(
         "--list-rules",
@@ -77,12 +117,46 @@ def run(args: argparse.Namespace) -> int:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    report = analyze_paths(paths, rules)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print(f"repro-lint: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+
+    fingerprints: set[str] | None = None
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(Path(args.baseline))
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    started = time.perf_counter()
+    report = analyze_paths(paths, rules, jobs=jobs, baseline=fingerprints)
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        count = write_baseline(
+            Path(args.write_baseline), report.findings + report.baselined
+        )
+        print(
+            f"repro-lint: wrote {count} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    # Timing is injected here, not in to_dict(): the report itself stays
+    # deterministic so a --jobs N run is byte-identical to --jobs 1.
     payload = report.to_dict()
+    payload["timing"] = {"seconds": round(elapsed, 3), "jobs": jobs}
 
     if args.json_out:
         Path(args.json_out).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.sarif:
+        sarif = report_to_sarif(report, rules if rules is not None else all_rules())
+        Path(args.sarif).write_text(
+            json.dumps(sarif, indent=2) + "\n", encoding="utf-8"
         )
 
     if args.format == "json":
@@ -90,11 +164,20 @@ def run(args: argparse.Namespace) -> int:
     else:
         for finding in report.findings:
             print(finding.render())
-        status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
-        print(
-            f"repro-lint: {status} — {report.files_scanned} file(s) scanned, "
-            f"{report.suppressed_count} finding(s) suppressed"
-        )
+        if report.clean:
+            status = "clean"
+        else:
+            status = (
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s)"
+            )
+        extras = [
+            f"{report.files_scanned} file(s) scanned",
+            f"{report.suppressed_count} finding(s) suppressed",
+        ]
+        if report.baselined:
+            extras.append(f"{len(report.baselined)} finding(s) baselined")
+        print(f"repro-lint: {status} — {', '.join(extras)}")
 
     if report.findings and args.strict:
         return 1
@@ -106,7 +189,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="static analysis for determinism, lock discipline, "
-        "process-pool safety, and exception hygiene",
+        "process-pool safety, exception hygiene, and whole-program "
+        "concurrency (lock-order cycles, async safety)",
     )
     add_arguments(parser)
     args = parser.parse_args(argv)

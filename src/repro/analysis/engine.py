@@ -1,11 +1,17 @@
 """The analysis engine: module model, rule registry, and the driver.
 
-Rules are small classes over one parsed module (:class:`ModuleUnit`):
-they receive the AST plus the raw source lines and return
-:class:`~repro.analysis.findings.Finding` objects.  The engine owns
-everything around that — file discovery, parsing, suppression matching
-(:mod:`repro.analysis.suppressions`), the suppression audit, and stable
-ordering of results — so each rule stays a pure AST check.
+Rules come in two shapes.  *Module rules* are small classes over one
+parsed module (:class:`ModuleUnit`): they receive the AST plus the raw
+source lines and return :class:`~repro.analysis.findings.Finding`
+objects.  *Program rules* (:class:`ProgramRule`) instead receive the
+whole-program graph built by :mod:`repro.analysis.program` — symbol
+table, call edges, lock acquisitions — and can report cross-module
+facts (a deadlock cycle spanning three files, a blocking call four
+frames below an ``async def``).  The engine owns everything around
+that — file discovery, parsing (optionally parallel), graph
+construction, suppression matching (:mod:`repro.analysis.suppressions`),
+the suppression audit, baseline filtering, and stable ordering of
+results — so each rule stays a pure check.
 
 Registration is by decorator::
 
@@ -16,6 +22,13 @@ Registration is by decorator::
 
         def check(self, module: ModuleUnit) -> list[Finding]: ...
 
+    @register
+    class MyProgramRule(ProgramRule):
+        rule_id = "family/other-rule"
+        description = "one line for --list-rules"
+
+        def check_program(self, program: ProgramGraph) -> list[Finding]: ...
+
 The built-in battery lives in :mod:`repro.analysis.rules`; importing it
 (which :func:`all_rules` does lazily) populates the registry.
 """
@@ -24,10 +37,11 @@ from __future__ import annotations
 
 import abc
 import ast
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import (
@@ -35,6 +49,9 @@ from repro.analysis.suppressions import (
     audit_suppressions,
     collect_suppressions,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.program import ProgramGraph
 
 
 def module_name_for(path: Path) -> str:
@@ -110,6 +127,25 @@ class Rule(abc.ABC):
         """Return every violation of this rule in *module*."""
 
 
+class ProgramRule(Rule):
+    """A rule over the whole-program graph instead of one module.
+
+    Program rules see every scanned module at once — symbol table, call
+    edges, lock acquisitions — so they can chase facts across module
+    boundaries.  The per-module :meth:`check` is a no-op; the engine
+    calls :meth:`check_program` exactly once per run, after all modules
+    parse, and matches the returned findings against each file's
+    suppressions like any other finding.
+    """
+
+    def check(self, module: ModuleUnit) -> list[Finding]:
+        return []
+
+    @abc.abstractmethod
+    def check_program(self, program: ProgramGraph) -> list[Finding]:
+        """Return every violation of this rule across *program*."""
+
+
 _REGISTRY: dict[str, Rule] = {}
 _BUILTINS_LOADED = False
 
@@ -169,6 +205,10 @@ class AnalysisReport:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressions: list[Suppression] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    """Findings acknowledged by the ``--baseline`` file: excluded from
+    :attr:`findings` (and from ``--strict`` failure) but still reported
+    in the artifact so the remaining debt stays visible."""
 
     @property
     def suppressed_count(self) -> int:
@@ -178,12 +218,25 @@ class AnalysisReport:
     def clean(self) -> bool:
         return not self.findings
 
+    @property
+    def errors(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "warning"]
+
     def to_dict(self) -> dict[str, object]:
-        """The JSON artifact schema (uploaded by CI)."""
+        """The JSON artifact schema (uploaded by CI).
+
+        Version history: 2 added per-finding ``severity`` and the
+        ``baselined`` list.
+        """
         return {
-            "version": 1,
+            "version": 2,
             "files_scanned": self.files_scanned,
             "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
             "suppressions": [
                 {
                     "path": suppression.path,
@@ -209,26 +262,21 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return list(seen)
 
 
-def _analyze_module(
-    source: str,
-    path: str,
-    rules: Sequence[Rule],
-    module_name: str | None = None,
-) -> tuple[list[Finding], list[Suppression]]:
-    """Run *rules* over one module; apply and audit its suppressions."""
+def _parse_unit(
+    source: str, path: str, module_name: str | None = None
+) -> ModuleUnit | Finding:
+    """Parse one module; a syntax error becomes a finding, not a crash."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        parse_error = Finding(
+        return Finding(
             path=path,
             line=exc.lineno or 1,
             rule_id="analysis/parse-error",
             message=f"file does not parse: {exc.msg}",
             suppressible=False,
         )
-        return [parse_error], []
-
-    module = ModuleUnit(
+    return ModuleUnit(
         path=path,
         module_name=(
             module_name if module_name is not None else module_name_for(Path(path))
@@ -237,17 +285,67 @@ def _analyze_module(
         lines=source.splitlines(),
         tree=tree,
     )
-    raw: list[Finding] = []
-    for rule in rules:
-        raw.extend(rule.check(module))
 
-    suppressions = collect_suppressions(path, source)
+
+def _split_rules(rules: Sequence[Rule]) -> tuple[list[Rule], list[ProgramRule]]:
+    module_rules = [rule for rule in rules if not isinstance(rule, ProgramRule)]
+    program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
+    return module_rules, program_rules
+
+
+def _analyze_units(
+    units: Sequence[ModuleUnit | Finding],
+    rules: Sequence[Rule],
+    jobs: int = 1,
+) -> tuple[list[Finding], list[Suppression]]:
+    """The full pipeline over already-parsed *units*.
+
+    Stages: per-module rules (parallel when ``jobs > 1`` — rules are
+    stateless, so threads only race on the GIL), then program rules
+    over the graph of every module that parsed, then suppression
+    matching and the suppression audit.  Findings are sorted at the
+    end, so the result is byte-identical for any ``jobs`` value.
+    """
+    module_rules, program_rules = _split_rules(rules)
+    modules = [unit for unit in units if isinstance(unit, ModuleUnit)]
+    raw: list[Finding] = [unit for unit in units if isinstance(unit, Finding)]
+
+    def run_module_rules(module: ModuleUnit) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in module_rules:
+            findings.extend(rule.check(module))
+        return findings
+
+    if jobs > 1 and len(modules) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for per_module in pool.map(run_module_rules, modules):
+                raw.extend(per_module)
+    else:
+        for module in modules:
+            raw.extend(run_module_rules(module))
+
+    if program_rules and modules:
+        # Imported here, not at module top: program.py imports
+        # ModuleUnit from this module.
+        from repro.analysis.program import ProgramGraph
+
+        program = ProgramGraph.build(modules)
+        for program_rule in program_rules:
+            raw.extend(program_rule.check_program(program))
+
+    suppressions: list[Suppression] = []
+    by_path: dict[str, list[Suppression]] = {}
+    for module in modules:
+        module_suppressions = collect_suppressions(module.path, module.source)
+        suppressions.extend(module_suppressions)
+        by_path[module.path] = module_suppressions
+
     kept: list[Finding] = []
     for finding in raw:
         match = next(
             (
                 suppression
-                for suppression in suppressions
+                for suppression in by_path.get(finding.path, [])
                 if suppression.matches(finding)
                 and suppression.covers_line(finding.line)
             ),
@@ -268,25 +366,74 @@ def analyze_source(
     rules: Sequence[Rule] | None = None,
     module_name: str | None = None,
 ) -> list[Finding]:
-    """Analyze one in-memory module (the unit-test entry point)."""
+    """Analyze one in-memory module (the unit-test entry point).
+
+    Program rules still run — over the one-module program — so fixtures
+    exercising intra-module lock cycles or async-safety work unchanged.
+    """
     active = list(rules) if rules is not None else all_rules()
-    findings, _ = _analyze_module(source, path, active, module_name)
+    findings, _ = _analyze_units([_parse_unit(source, path, module_name)], active)
+    return findings
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze several in-memory modules as one program.
+
+    *sources* maps dotted module names to source text; each module gets
+    a synthetic path derived from its name.  This is the test entry
+    point for cross-module facts — a lock cycle whose two halves live
+    in different files, an async handler whose blocking call is three
+    modules away.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    units = [
+        _parse_unit(source, module_name.replace(".", "/") + ".py", module_name)
+        for module_name, source in sorted(sources.items())
+    ]
+    findings, _ = _analyze_units(units, active)
     return findings
 
 
 def analyze_paths(
     paths: Sequence[Path | str],
     rules: Sequence[Rule] | None = None,
+    jobs: int = 1,
+    baseline: set[str] | None = None,
 ) -> AnalysisReport:
-    """Analyze every Python file under *paths* and return the report."""
+    """Analyze every Python file under *paths* and return the report.
+
+    ``jobs > 1`` parallelizes file reading/parsing and the per-module
+    rules across a thread pool; findings are identical to a serial run.
+    *baseline* is a set of finding fingerprints (see
+    :mod:`repro.analysis.baseline`) to divert into
+    :attr:`AnalysisReport.baselined`.
+    """
     active = list(rules) if rules is not None else all_rules()
-    report = AnalysisReport()
     files = iter_python_files(Path(path) for path in paths)
-    report.files_scanned = len(files)
-    for file in files:
-        source = file.read_text(encoding="utf-8")
-        findings, suppressions = _analyze_module(source, str(file), active)
-        report.findings.extend(findings)
-        report.suppressions.extend(suppressions)
-    report.findings.sort(key=lambda finding: finding.sort_key)
+
+    def load(file: Path) -> ModuleUnit | Finding:
+        return _parse_unit(file.read_text(encoding="utf-8"), str(file))
+
+    if jobs > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            units = list(pool.map(load, files))
+    else:
+        units = [load(file) for file in files]
+
+    findings, suppressions = _analyze_units(units, active, jobs=jobs)
+
+    report = AnalysisReport(files_scanned=len(files), suppressions=suppressions)
+    if baseline:
+        from repro.analysis.baseline import finding_fingerprint
+
+        for finding in findings:
+            if finding_fingerprint(finding) in baseline:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    else:
+        report.findings = findings
     return report

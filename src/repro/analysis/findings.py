@@ -35,6 +35,11 @@ class Finding:
     """Audit findings about suppressions themselves are not suppressible —
     otherwise a stale ``allow`` comment could hide its own staleness."""
 
+    severity: str = "error"
+    """``"error"`` or ``"warning"``.  Warnings are advisory in a normal
+    run and only fail the build under ``--strict`` (the unused-suppression
+    audit is the canonical warning: stale, but not broken, code)."""
+
     @property
     def family(self) -> str:
         """The rule family (text before the first ``/``)."""
@@ -46,7 +51,8 @@ class Finding:
 
     def render(self) -> str:
         """One-line human-readable form (``path:line: [rule] message``)."""
-        text = f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        marker = "warning: " if self.severity == "warning" else ""
+        text = f"{self.path}:{self.line}: {marker}[{self.rule_id}] {self.message}"
         if self.hint:
             text += f"\n    fix: {self.hint}"
         return text
@@ -57,6 +63,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "rule": self.rule_id,
+            "severity": self.severity,
             "message": self.message,
             "hint": self.hint,
         }

@@ -9,10 +9,19 @@ at import time).  The engine imports it lazily from
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    asyncsafety,
     determinism,
     exceptions,
     locks,
+    lockorder,
     poolsafety,
 )
 
-__all__ = ["determinism", "exceptions", "locks", "poolsafety"]
+__all__ = [
+    "asyncsafety",
+    "determinism",
+    "exceptions",
+    "locks",
+    "lockorder",
+    "poolsafety",
+]

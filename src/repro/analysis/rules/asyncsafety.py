@@ -1,0 +1,159 @@
+"""Async-safety rules: nothing reachable from an ``async def`` may block.
+
+The HTTP frontend runs every handler on the event loop thread; one
+``time.sleep``, queue ``get``, or contended ``with lock:`` anywhere in
+the synchronous call tree below a handler stalls *every* connection.
+These rules walk the whole-program call graph
+(:class:`~repro.analysis.program.ProgramGraph`) from each ``async def``
+and report blocking operations that are transitively reachable on the
+loop thread.
+
+What counts as blocking comes from the program graph's per-function
+facts: known blocking calls (``time.sleep``, ``queue.Queue.get/put``,
+``socket`` I/O, ``open``, ``pool.apply_async().get()``,
+``Future.result()``, ``lock.acquire()``) plus every ``with <lock>:``
+acquisition — a lock wait is a thread block like any other.
+
+What does *not* count: anything behind a **deferred** call edge.  A
+callable handed to ``loop.run_in_executor`` / ``asyncio.to_thread`` /
+``Thread(target=...)`` / pool ``submit`` runs off the loop thread, so
+the walk stops there — wrapping a blocking call in an executor is
+exactly the sanctioned fix.  Unresolvable calls produce no edge, so
+every reported chain is a real code path (no false paths), at the cost
+of missing chains through dynamic dispatch.
+
+Findings anchor where the fix belongs: a *direct* blocking operation
+anchors at its own line; a *transitive* one anchors at the first call
+the async function makes into the blocking chain (that is the call to
+wrap in an executor), with the full witness chain and the blocking site
+spelled out in the message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.engine import ProgramRule, register
+from repro.analysis.findings import Finding
+from repro.analysis.program import (
+    CallEdge,
+    FunctionFacts,
+    FunctionSymbol,
+    ProgramGraph,
+)
+
+
+def _blocking_sites(facts: FunctionFacts) -> list[tuple[str, str, int]]:
+    """``(op, path, line)`` for every blocking operation in one function."""
+    sites = [
+        (blocking.op, blocking.path, blocking.line)
+        for blocking in facts.blocking_calls
+    ]
+    sites.extend(
+        (f"{acquisition.lock_id} (with-lock)", acquisition.path, acquisition.line)
+        for acquisition in facts.acquisitions
+    )
+    sites.sort(key=lambda site: (site[1], site[2], site[0]))
+    return sites
+
+
+@register
+class BlockingInAsyncRule(ProgramRule):
+    """Blocking operations reachable from ``async def`` block the loop."""
+
+    rule_id = "asyncsafety/blocking-call"
+    description = (
+        "an async function must not perform, or transitively call into, "
+        "thread-blocking operations (sleep/queue/lock/file/socket) on the "
+        "event loop thread"
+    )
+
+    def check_program(self, program: ProgramGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        for symbol in program.async_functions():
+            findings.extend(self._check_origin(program, symbol))
+        return findings
+
+    def _check_origin(
+        self, program: ProgramGraph, symbol: FunctionSymbol
+    ) -> list[Finding]:
+        origin = symbol.qualname
+        facts = program.facts_for(origin)
+        if facts is None:
+            return []
+
+        findings: list[Finding] = []
+        reported: set[tuple[int, str, str, int]] = set()
+
+        for op, path, line in _blocking_sites(facts):
+            key = (line, op, path, line)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"async function {origin} blocks the event loop "
+                        f"with {op}"
+                    ),
+                    hint=(
+                        "move the operation off-loop: await "
+                        "loop.run_in_executor(None, ...) or asyncio.to_thread"
+                    ),
+                )
+            )
+
+        # Breadth-first over non-deferred call edges into synchronous
+        # code.  Async callees are skipped: their blocking operations
+        # are reported against themselves, once, where the fix belongs.
+        queue: deque[tuple[str, CallEdge, tuple[str, ...]]] = deque()
+        enqueued: set[str] = {origin}
+        for edge in facts.calls:
+            if self._traversable(program, edge) and edge.callee not in enqueued:
+                enqueued.add(edge.callee)
+                queue.append((edge.callee, edge, (origin, edge.callee)))
+
+        while queue:
+            qualname, first_edge, chain = queue.popleft()
+            callee_facts = program.facts_for(qualname)
+            if callee_facts is None:
+                continue
+            for op, path, line in _blocking_sites(callee_facts):
+                key = (first_edge.line, op, path, line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        path=first_edge.path,
+                        line=first_edge.line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"async function {origin} reaches blocking {op} "
+                            f"at {path}:{line} (call chain "
+                            f"{' -> '.join(chain)})"
+                        ),
+                        hint=(
+                            "wrap this call in await loop.run_in_executor"
+                            "(None, ...), or make the callee non-blocking"
+                        ),
+                    )
+                )
+            for edge in callee_facts.calls:
+                if (
+                    self._traversable(program, edge)
+                    and edge.callee not in enqueued
+                ):
+                    enqueued.add(edge.callee)
+                    queue.append((edge.callee, first_edge, chain + (edge.callee,)))
+        return findings
+
+    @staticmethod
+    def _traversable(program: ProgramGraph, edge: CallEdge) -> bool:
+        if edge.deferred:
+            return False
+        callee = program.functions.get(edge.callee)
+        return callee is not None and not callee.is_async

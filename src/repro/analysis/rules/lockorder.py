@@ -1,0 +1,241 @@
+"""Whole-program lock-order analysis: cross-module deadlock cycles.
+
+The per-module ``locks/lock-order`` rule catches a class that nests its
+own two locks in both orders.  The dangerous cycles at serving scale are
+the ones no single file shows: ``PlanService.submit`` takes the metrics
+lock while holding the queue lock, and a drain helper three modules away
+takes them the other way round.  This rule builds the global
+*lock-acquisition graph* — one node per lock identity
+(``module.Class.attr`` / ``module.NAME``), one edge ``A -> B`` for every
+program point that acquires ``B`` while holding ``A``, following
+(non-deferred) call edges through :class:`~repro.analysis.program
+.ProgramGraph` — and reports every strongly-connected component with two
+or more locks as a potential deadlock, with a concrete witness for each
+edge of one cycle.
+
+Polarity: the program graph under-approximates calls, so every reported
+cycle is realised by actual code paths; cycles hidden behind an
+unresolvable indirection are missed, not invented.  Edges between a
+lock and itself are ignored — the identity is per *class attribute*,
+and two distinct instances of one class may nest legitimately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.engine import ProgramRule, register
+from repro.analysis.findings import Finding
+from repro.analysis.program import LockAcquisition, ProgramGraph
+
+_TransAcq = dict[str, tuple[tuple[str, ...], LockAcquisition]]
+
+
+@dataclass(frozen=True)
+class _Witness:
+    """How one ``held -> acquired`` edge is realised in code."""
+
+    site_path: str
+    site_line: int
+    chain: tuple[str, ...]
+    """Function qualnames from the lock holder down to the acquirer."""
+
+
+def _transitive_acquisitions(program: ProgramGraph) -> dict[str, _TransAcq]:
+    """For every function: locks it may acquire, directly or via calls.
+
+    Each entry carries the call chain and the concrete acquisition site
+    so a cycle report can show *where* the nested acquisition happens.
+    Recursive call cycles are cut at the revisit (the revisited frame
+    adds no new acquisitions beyond its first traversal).
+    """
+    memo: dict[str, _TransAcq] = {}
+
+    def visit(qualname: str, visiting: set[str]) -> _TransAcq:
+        cached = memo.get(qualname)
+        if cached is not None:
+            return cached
+        if qualname in visiting:
+            return {}
+        visiting.add(qualname)
+        result: _TransAcq = {}
+        facts = program.facts_for(qualname)
+        if facts is not None:
+            for acquisition in facts.acquisitions:
+                result.setdefault(acquisition.lock_id, ((qualname,), acquisition))
+            for edge in facts.calls:
+                if edge.deferred:
+                    continue
+                for lock_id, (chain, acquisition) in visit(
+                    edge.callee, visiting
+                ).items():
+                    result.setdefault(lock_id, ((qualname,) + chain, acquisition))
+        visiting.discard(qualname)
+        memo[qualname] = result
+        return result
+
+    for qualname in sorted(program.facts):
+        visit(qualname, set())
+    return memo
+
+
+def _lock_edges(program: ProgramGraph) -> dict[tuple[str, str], _Witness]:
+    """Every ``held -> acquired`` pair with its first (sorted) witness."""
+    transitive = _transitive_acquisitions(program)
+    edges: dict[tuple[str, str], _Witness] = {}
+    for qualname in sorted(program.facts):
+        facts = program.facts[qualname]
+        for acquisition in facts.acquisitions:
+            for held in acquisition.held:
+                if held != acquisition.lock_id:
+                    edges.setdefault(
+                        (held, acquisition.lock_id),
+                        _Witness(
+                            acquisition.path, acquisition.line, (qualname,)
+                        ),
+                    )
+        for held_locks, edge in facts.calls_under_lock:
+            for lock_id, (chain, acquisition) in transitive.get(
+                edge.callee, {}
+            ).items():
+                for held in held_locks:
+                    if held != lock_id:
+                        edges.setdefault(
+                            (held, lock_id),
+                            _Witness(
+                                acquisition.path,
+                                acquisition.line,
+                                (qualname,) + chain,
+                            ),
+                        )
+    return edges
+
+
+def _strongly_connected(
+    nodes: set[str], adjacency: dict[str, set[str]]
+) -> list[set[str]]:
+    """Kosaraju's SCCs, iterative, deterministic order."""
+    order: list[str] = []
+    visited: set[str] = set()
+    for start in sorted(nodes):
+        if start in visited:
+            continue
+        visited.add(start)
+        stack: list[tuple[str, list[str]]] = [
+            (start, sorted(adjacency.get(start, ())))
+        ]
+        while stack:
+            current, pending = stack[-1]
+            while pending and pending[-1] in visited:
+                pending.pop()
+            if pending:
+                nxt = pending.pop()
+                visited.add(nxt)
+                stack.append((nxt, sorted(adjacency.get(nxt, ()))))
+            else:
+                order.append(current)
+                stack.pop()
+
+    reverse: dict[str, set[str]] = {}
+    for source, targets in adjacency.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+
+    components: list[set[str]] = []
+    assigned: set[str] = set()
+    for start in reversed(order):
+        if start in assigned:
+            continue
+        component = {start}
+        assigned.add(start)
+        work = [start]
+        while work:
+            current = work.pop()
+            for nxt in sorted(reverse.get(current, ())):
+                if nxt in nodes and nxt not in assigned:
+                    assigned.add(nxt)
+                    component.add(nxt)
+                    work.append(nxt)
+        components.append(component)
+    return components
+
+
+def _cycle_through(
+    anchor: str, component: set[str], adjacency: dict[str, set[str]]
+) -> list[str]:
+    """A shortest concrete cycle ``anchor -> ... -> anchor`` in *component*."""
+    parent: dict[str, str] = {}
+    seen = {anchor}
+    queue = deque([anchor])
+    while queue:
+        current = queue.popleft()
+        for nxt in sorted(adjacency.get(current, ())):
+            if nxt not in component:
+                continue
+            if nxt == anchor:
+                path = [current]
+                while path[-1] != anchor:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path + [anchor]
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = current
+                queue.append(nxt)
+    return [anchor, anchor]
+
+
+@register
+class GlobalLockOrderRule(ProgramRule):
+    """Cross-module lock-order cycles are potential deadlocks."""
+
+    rule_id = "lockorder/cycle"
+    description = (
+        "the global lock-acquisition graph (lock held -> lock acquired, "
+        "following call edges across modules) must be acyclic"
+    )
+
+    def check_program(self, program: ProgramGraph) -> list[Finding]:
+        edges = _lock_edges(program)
+        adjacency: dict[str, set[str]] = {}
+        nodes: set[str] = set()
+        for held, acquired in edges:
+            adjacency.setdefault(held, set()).add(acquired)
+            nodes.update((held, acquired))
+
+        findings: list[Finding] = []
+        for component in _strongly_connected(nodes, adjacency):
+            if len(component) < 2:
+                continue
+            anchor = min(component)
+            cycle = _cycle_through(anchor, component, adjacency)
+            witnesses = [
+                (pair, edges[pair])
+                for pair in zip(cycle, cycle[1:])
+                if pair in edges
+            ]
+            details = "; ".join(
+                f"{held} then {acquired} at {witness.site_path}:"
+                f"{witness.site_line} via {' -> '.join(witness.chain)}"
+                for (held, acquired), witness in witnesses
+            )
+            first = witnesses[0][1]
+            findings.append(
+                Finding(
+                    path=first.site_path,
+                    line=first.site_line,
+                    rule_id=self.rule_id,
+                    message=(
+                        "potential deadlock: lock-order cycle "
+                        f"{' -> '.join(cycle)} ({details})"
+                    ),
+                    hint=(
+                        "pick one global acquisition order for these locks "
+                        "and restructure the off-order site (move the inner "
+                        "acquisition outside the outer lock, or defer the "
+                        "call past the release)"
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,18 @@
+"""Runtime concurrency instrumentation (the dynamic half of the linter).
+
+The static rules in :mod:`repro.analysis.rules` prove what they can see;
+:class:`~repro.analysis.runtime.sanitizer.LockSanitizer` watches what
+actually happens: it patches the :mod:`threading` lock factories so the
+test suite records every real acquisition order and flags lock-order
+inversions (and over-budget hold times) that only manifest under a
+particular interleaving.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime.sanitizer import (
+    LockSanitizer,
+    install_from_env,
+)
+
+__all__ = ["LockSanitizer", "install_from_env"]

@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 serialization of an analysis report.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+surfaces ingest: one ``repro-lint --sarif lint-report.sarif`` artifact
+renders findings inline on the changed lines of a pull request.  The
+emitter covers the subset every consumer reads — tool metadata with the
+rule catalogue, one ``result`` per finding with ruleId / level /
+message / physical location — and nothing speculative.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisReport, Rule
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level_for(severity: str) -> str:
+    return "warning" if severity == "warning" else "error"
+
+
+def report_to_sarif(
+    report: "AnalysisReport", rules: list["Rule"] | None = None
+) -> dict[str, object]:
+    """The SARIF 2.1.0 document for *report* as JSON-ready data."""
+    rule_descriptors = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in (rules or [])
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _level_for(finding.severity),
+            "message": {
+                "text": (
+                    f"{finding.message}  fix: {finding.hint}"
+                    if finding.hint
+                    else finding.message
+                )
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_VERSION", "report_to_sarif"]

@@ -1,15 +1,22 @@
 """Inline suppressions: ``# repro: allow[rule-id] <reason>``.
 
 A suppression silences one rule (or a whole family) on the line it
-annotates — or on the line directly below, for the common case of a
-comment placed above a long statement.  Suppressions are *audited*:
+annotates — or on the statement directly below, for the common case of
+a comment placed above a long statement.  Several rules can share one
+comment (``allow[rule-a,rule-b] reason``), several allow clauses can
+share one comment line, and suppression comments **stack**: a run of
+consecutive comment-only suppression lines covers the first statement
+after the stack, so multi-rule waivers stay one-per-line and readable.
+
+Suppressions are *audited*:
 
 * a suppression without a written reason is itself a finding
   (``analysis/suppression-missing-reason``) — the reason is the review
   record for why the invariant is waived here;
-* a suppression that silences nothing is itself a finding
+* a suppression that silences nothing is itself a *warning*
   (``analysis/unused-suppression``) — stale allows hide future
-  violations on the same line.
+  violations on the same line; advisory in a normal run, an error under
+  ``--strict``.
 
 Neither audit finding can be suppressed.
 """
@@ -24,7 +31,8 @@ from dataclasses import dataclass, field
 from repro.analysis.findings import Finding
 
 _SUPPRESSION = re.compile(
-    r"repro:\s*allow\[(?P<rule>[A-Za-z0-9_./-]+)\]\s*(?P<reason>.*)$"
+    r"repro:\s*allow\[(?P<rules>[A-Za-z0-9_./, -]+)\]"
+    r"\s*(?P<reason>(?:(?!repro:\s*allow\[).)*)"
 )
 
 _MIN_REASON_LENGTH = 8
@@ -33,7 +41,7 @@ _MIN_REASON_LENGTH = 8
 
 @dataclass
 class Suppression:
-    """One ``# repro: allow[...]`` comment."""
+    """One rule id allowed by one ``# repro: allow[...]`` clause."""
 
     path: str
     line: int
@@ -43,50 +51,94 @@ class Suppression:
 
     reason: str
     used: bool = field(default=False, compare=False)
+    covered_lines: tuple[int, ...] = ()
+    """Lines this suppression silences; computed at collection time
+    (its own line, the line below, and — for stacked comment-only
+    suppressions — the first statement after the stack)."""
 
     def matches(self, finding: Finding) -> bool:
         """Whether this suppression covers *finding* (id or family)."""
         return finding.rule_id == self.rule_id or finding.family == self.rule_id
 
     def covers_line(self, line: int) -> bool:
-        """A suppression annotates its own line and the line below."""
+        """Whether *line* falls in this suppression's computed coverage."""
+        if self.covered_lines:
+            return line in self.covered_lines
         return line in (self.line, self.line + 1)
 
 
 def collect_suppressions(path: str, source: str) -> list[Suppression]:
-    """Extract every suppression comment from *source*.
+    """Extract every suppression clause from *source*.
 
     Tokenizing (rather than regex over raw lines) keeps the scan from
     matching the pattern inside string literals — the analyzer's own
     test fixtures embed suppressions in source strings.
     """
     suppressions: list[Suppression] = []
+    lines = source.splitlines()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
-            match = _SUPPRESSION.search(token.string)
-            if match is None:
-                continue
-            suppressions.append(
-                Suppression(
-                    path=path,
-                    line=token.start[0],
-                    rule_id=match.group("rule"),
-                    reason=match.group("reason").strip(),
-                )
-            )
+            for match in _SUPPRESSION.finditer(token.string):
+                reason = match.group("reason").strip().rstrip("#").strip()
+                for rule_id in match.group("rules").split(","):
+                    rule_id = rule_id.strip()
+                    if rule_id:
+                        suppressions.append(
+                            Suppression(
+                                path=path,
+                                line=token.start[0],
+                                rule_id=rule_id,
+                                reason=reason,
+                            )
+                        )
     except tokenize.TokenError:
         # The engine only tokenizes sources that already parsed with
         # ast; a tokenize failure here means no comments are readable,
         # so the module simply has no suppressions.
         return suppressions
+    _assign_coverage(suppressions, lines)
     return suppressions
 
 
+def _assign_coverage(suppressions: list[Suppression], lines: list[str]) -> None:
+    """Compute each suppression's covered lines, honouring stacks.
+
+    A clause always covers its own line and the next line.  When the
+    clause sits on a comment-only line and the lines below are also
+    comment-only suppression lines, coverage extends through the stack
+    to the first following statement — so two stacked ``allow`` comments
+    both silence the statement beneath them.
+    """
+
+    def comment_only(line_number: int) -> bool:
+        if not 1 <= line_number <= len(lines):
+            return False
+        return lines[line_number - 1].lstrip().startswith("#")
+
+    stack_lines = {
+        suppression.line
+        for suppression in suppressions
+        if comment_only(suppression.line)
+    }
+    for suppression in suppressions:
+        covered = {suppression.line, suppression.line + 1}
+        cursor = suppression.line + 1
+        while cursor in stack_lines:
+            cursor += 1
+            covered.add(cursor)
+        suppression.covered_lines = tuple(sorted(covered))
+
+
 def audit_suppressions(suppressions: list[Suppression]) -> list[Finding]:
-    """Findings for reason-less and unused suppressions (unsuppressible)."""
+    """Findings for reason-less and unused suppressions (unsuppressible).
+
+    A missing reason is an error (the record is mandatory); an unused
+    suppression is a *warning* — advisory in normal runs, promoted to a
+    build failure by ``--strict``.
+    """
     findings: list[Finding] = []
     for suppression in suppressions:
         if len(suppression.reason) < _MIN_REASON_LENGTH:
@@ -118,6 +170,7 @@ def audit_suppressions(suppressions: list[Suppression]) -> list[Finding]:
                     ),
                     hint="delete it; stale allows hide future violations",
                     suppressible=False,
+                    severity="warning",
                 )
             )
     return findings

@@ -152,8 +152,10 @@ class HttpFrontend:
         self.host = host
         self._requested_port = port
         self._server: asyncio.Server | None = None
+        # Loop-confined: only handler coroutines touch the ticket table,
+        # and they all run on the one event loop — no lock needed (and a
+        # lock here would be a blocking wait on the loop thread).
         self._tickets: OrderedDict[int, PlanTicket] = OrderedDict()
-        self._tickets_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -198,6 +200,7 @@ class HttpFrontend:
             status, content_type, body = 500, _JSON, _error_body(
                 "internal", f"unhandled error: {exc}"
             )
+            # repro: allow[asyncsafety/blocking-call] counter micro-lock is uncontended and sub-microsecond
             self.service.metrics.counter("http_internal_errors").inc()
         try:
             writer.write(_render_response(status, content_type, body))
@@ -238,7 +241,11 @@ class HttpFrontend:
         if method == "GET" and path == "/healthz":
             return 200, _JSON, json.dumps({"status": "ok"}).encode()
         if method == "GET" and path == "/metrics":
-            return 200, "text/plain; charset=utf-8", self.service.metrics_report().encode()
+            # metrics_report snapshots every series under the registry
+            # lock — off-loop, like any other potentially-contended wait.
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(None, self.service.metrics_report)
+            return 200, "text/plain; charset=utf-8", report.encode()
         if method == "POST" and path == "/plan":
             return await self._route_plan(body, wait=True)
         if method == "POST" and path == "/submit":
@@ -255,15 +262,16 @@ class HttpFrontend:
             return 400, _JSON, _error_body("bad-json", f"invalid JSON body: {exc}")
         except PayloadError as exc:
             return 400, _JSON, _error_body("invalid-graph", str(exc))
-        ticket = self.service.submit(graph)
+        # submit() takes the queue condition and metrics locks; under a
+        # slow or contended planner that wait must not stall the loop.
+        loop = asyncio.get_running_loop()
+        ticket = await loop.run_in_executor(None, self.service.submit, graph)
         if not wait:
-            with self._tickets_lock:
-                self._tickets[ticket.request_id] = ticket
-                while len(self._tickets) > _MAX_TICKETS:
-                    self._tickets.popitem(last=False)
+            self._tickets[ticket.request_id] = ticket
+            while len(self._tickets) > _MAX_TICKETS:
+                self._tickets.popitem(last=False)
             accepted = {"request_id": ticket.request_id, "key": ticket.key}
             return 202, _JSON, json.dumps(accepted).encode()
-        loop = asyncio.get_running_loop()
         response = await loop.run_in_executor(None, ticket.result)
         return _status_for(response), _JSON, json.dumps(response_to_dict(response)).encode()
 
@@ -272,8 +280,7 @@ class HttpFrontend:
             request_id = int(raw_id)
         except ValueError:
             return 400, _JSON, _error_body("bad-request", f"bad request id {raw_id!r}")
-        with self._tickets_lock:
-            ticket = self._tickets.get(request_id)
+        ticket = self._tickets.get(request_id)
         if ticket is None:
             return 404, _JSON, _error_body("unknown-ticket", f"no ticket {request_id}")
         if not ticket.done:

@@ -1,14 +1,61 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the lock-sanitizer hook.
+
+Run with ``REPRO_LOCK_SANITIZER=1`` to instrument every lock created
+during the session (see :mod:`repro.analysis.runtime.sanitizer`): the
+suite then also asserts a global property — no two threads ever
+acquired the same pair of locks in opposite orders.  On any inversion
+the session exits non-zero and the machine-readable report lands at
+``lock-sanitizer-report.json`` (override with
+``REPRO_LOCK_SANITIZER_REPORT``).
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.runtime.sanitizer import (
+    active_sanitizer,
+    install_from_env,
+    report_path_from_env,
+)
 from repro.callgraph.model import FunctionCallGraph
 from repro.graphs.generators import path_graph, two_cluster_graph
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
 from repro.mec.system import MECSystem, UserContext
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # As early as pytest allows: locks created before install are
+    # invisible to the sanitizer.
+    install_from_env()
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    sanitizer = active_sanitizer()
+    if sanitizer is None:
+        return
+    report = sanitizer.report()
+    sanitizer.write_report(report_path_from_env())
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    summary = (
+        f"lock sanitizer: {report['orders_observed']} acquisition order(s) "
+        f"observed, {len(sanitizer.inversions)} inversion(s), "
+        f"{len(sanitizer.long_holds)} long hold(s)"
+    )
+    if reporter is not None:
+        reporter.write_line(summary)
+    if not sanitizer.clean:
+        if reporter is not None:
+            for inversion in sanitizer.inversions:
+                reporter.write_line(
+                    "lock-order inversion: "
+                    f"{inversion.first.outer} -> {inversion.first.inner} "
+                    f"on {inversion.first.thread}; reversed as "
+                    f"{inversion.second.outer} -> {inversion.second.inner} "
+                    f"on {inversion.second.thread}"
+                )
+        session.exitstatus = 1
 
 
 @pytest.fixture

@@ -1,0 +1,216 @@
+"""Tests for the runtime lock sanitizer (``repro.analysis.runtime``).
+
+The deliberate-inversion fixtures build ``_SanitizedLock`` wrappers
+directly against a private :class:`LockSanitizer` instance instead of
+going through the patched ``threading.Lock`` factory.  When the whole
+suite runs under ``REPRO_LOCK_SANITIZER=1`` the factory is already the
+*session* sanitizer's — and a seeded inversion recorded there would
+fail the session gate, which is exactly what these tests must not do.
+Factory patching itself is covered with an order-consistent scenario.
+"""
+
+from __future__ import annotations
+
+import _thread
+import json
+import threading
+import time
+
+from repro.analysis.runtime import LockSanitizer, install_from_env
+from repro.analysis.runtime.sanitizer import _SanitizedLock, report_path_from_env
+
+
+def _lock(sanitizer: LockSanitizer) -> _SanitizedLock:
+    return _SanitizedLock(sanitizer, _thread.allocate_lock())
+
+
+def _run_in_thread(target, name: str) -> None:
+    worker = threading.Thread(target=target, name=name)
+    worker.start()
+    worker.join()
+
+
+class TestInversionDetection:
+    def test_reversed_order_across_threads_is_caught(self):
+        sanitizer = LockSanitizer()
+        lock_a, lock_b = _lock(sanitizer), _lock(sanitizer)
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # Sequential, joined threads: the two orders never overlap in
+        # time, yet the interleaving that deadlocks exists — the
+        # sanitizer must flag it deterministically.
+        _run_in_thread(forward, "forward-thread")
+        _run_in_thread(backward, "backward-thread")
+
+        assert not sanitizer.clean
+        assert len(sanitizer.inversions) == 1
+        inversion = sanitizer.inversions[0]
+        assert inversion.first.thread == "forward-thread"
+        assert inversion.second.thread == "backward-thread"
+        assert {inversion.first.outer, inversion.first.inner} == {
+            inversion.second.outer,
+            inversion.second.inner,
+        }
+        assert inversion.first.outer == inversion.second.inner
+
+    def test_inversion_reported_once_per_pair(self):
+        sanitizer = LockSanitizer()
+        lock_a, lock_b = _lock(sanitizer), _lock(sanitizer)
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        for _ in range(3):
+            _run_in_thread(forward, "forward-thread")
+            _run_in_thread(backward, "backward-thread")
+        assert len(sanitizer.inversions) == 1
+
+    def test_consistent_order_stays_clean(self):
+        sanitizer = LockSanitizer()
+        lock_a, lock_b = _lock(sanitizer), _lock(sanitizer)
+
+        def nested():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        _run_in_thread(nested, "worker-1")
+        _run_in_thread(nested, "worker-2")
+        assert sanitizer.clean
+        assert sanitizer.report()["orders_observed"] == 1
+
+    def test_reentrant_rlock_does_not_self_pair(self):
+        sanitizer = LockSanitizer()
+        rlock = _SanitizedLock(sanitizer, threading.RLock())
+
+        with rlock:
+            with rlock:
+                pass
+        assert sanitizer.clean
+        assert sanitizer.report()["orders_observed"] == 0
+
+
+class TestHoldBudget:
+    def test_overrun_is_recorded_but_not_gating(self):
+        sanitizer = LockSanitizer(hold_budget_seconds=0.02)
+        lock = _lock(sanitizer)
+        with lock:
+            time.sleep(0.05)
+        assert len(sanitizer.long_holds) == 1
+        hold = sanitizer.long_holds[0]
+        assert hold.seconds >= 0.02
+        assert sanitizer.clean  # long holds are informational
+
+    def test_condition_wait_does_not_count_as_hold(self):
+        sanitizer = LockSanitizer(hold_budget_seconds=0.02)
+        lock = _lock(sanitizer)
+        condition = threading.Condition(lock)
+        with condition:
+            # wait() releases the lock for the whole sleep; only the
+            # instants around the wait count against the budget.
+            condition.wait(timeout=0.08)
+        assert sanitizer.long_holds == []
+        assert sanitizer.clean
+
+
+class TestFactoryPatching:
+    def test_install_instruments_new_locks_and_uninstall_restores(self):
+        sanitizer = LockSanitizer()
+        original_factory = threading.Lock
+        sanitizer.install()
+        try:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            assert isinstance(lock_a, _SanitizedLock)
+
+            def nested():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            _run_in_thread(nested, "patched-worker")
+            assert sanitizer.report()["orders_observed"] == 1
+        finally:
+            sanitizer.uninstall()
+        assert threading.Lock is original_factory
+        # Wrappers created while installed keep working after uninstall.
+        with lock_a:
+            assert lock_a.locked()
+
+    def test_queue_locks_are_instrumented(self):
+        import queue
+
+        sanitizer = LockSanitizer()
+        sanitizer.install()
+        try:
+            channel = queue.Queue()
+        finally:
+            sanitizer.uninstall()
+        channel.put("item")
+        assert channel.get() == "item"
+        assert sanitizer.next_serial() > 1  # Queue built sanitized locks
+
+
+class TestReporting:
+    def test_report_schema_and_write(self, tmp_path):
+        sanitizer = LockSanitizer()
+        lock_a, lock_b = _lock(sanitizer), _lock(sanitizer)
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        _run_in_thread(forward, "forward-thread")
+        _run_in_thread(backward, "backward-thread")
+
+        path = tmp_path / "lock-sanitizer-report.json"
+        sanitizer.write_report(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["orders_observed"] == 2
+        assert payload["hold_budget_seconds"] == 1.0
+        (inversion,) = payload["inversions"]
+        assert set(inversion) == {"first", "second"}
+        assert set(inversion["first"]) == {"outer", "inner", "thread"}
+        assert payload["long_holds"] == []
+
+    def test_labels_carry_creation_site_and_serial(self):
+        sanitizer = LockSanitizer()
+        lock = _lock(sanitizer)
+        assert __file__ in lock._label
+        assert "#" in lock._label
+
+    def test_install_from_env_respects_flag(self, monkeypatch):
+        import repro.analysis.runtime.sanitizer as module
+
+        monkeypatch.setattr(module, "_ACTIVE", None)
+        monkeypatch.delenv("REPRO_LOCK_SANITIZER", raising=False)
+        assert install_from_env() is None
+
+    def test_report_path_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_SANITIZER_REPORT", raising=False)
+        assert report_path_from_env().name == "lock-sanitizer-report.json"
+        monkeypatch.setenv("REPRO_LOCK_SANITIZER_REPORT", "custom.json")
+        assert report_path_from_env().name == "custom.json"

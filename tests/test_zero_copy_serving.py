@@ -310,6 +310,47 @@ class TestHttpFrontend:
             assert status == 200
             assert b"worker_pool_size" in raw and b"plan cache" in raw
 
+    def test_loop_stays_responsive_during_slow_plan(self):
+        # Regression guard for the async-safety fixes: the blocking
+        # submit/result path runs on the executor, so a slow plan must
+        # not stall the event loop — concurrent /healthz probes keep
+        # answering promptly while the plan is in flight.
+        planner = make_planner("spectral")
+        inner = planner.plan_user
+
+        def slowed(graph):
+            time.sleep(1.0)
+            return inner(graph)
+
+        planner.plan_user = slowed
+        graph = _random_call_graph(31)
+        with (
+            PlanService(planner, ServiceConfig(workers=1)) as service,
+            HttpFrontendThread(service) as frontend,
+        ):
+            port = frontend.start()
+            outcome: dict[str, object] = {}
+
+            def slow_post() -> None:
+                outcome["plan"] = self._post(port, "/plan", graph_to_payload(graph))
+
+            poster = threading.Thread(target=slow_post)
+            poster.start()
+            time.sleep(0.15)  # let the slow plan get in flight
+            latencies = []
+            while poster.is_alive() and len(latencies) < 5:
+                probe_started = time.monotonic()
+                status, body = self._get(port, "/healthz")
+                latencies.append(time.monotonic() - probe_started)
+                assert status == 200 and json.loads(body)["status"] == "ok"
+            poster.join(timeout=30.0)
+            assert not poster.is_alive()
+
+        status, body = outcome["plan"]
+        assert status == 200 and body["ok"] is True
+        assert latencies, "healthz probes must overlap the in-flight plan"
+        assert max(latencies) < 0.5, f"event loop stalled during plan: {latencies}"
+
     def test_parse_payload_round_trips_fingerprint(self):
         for seed in range(5):
             graph = _random_call_graph(seed)
