@@ -35,7 +35,11 @@ DETERMINISTIC_PACKAGES = (
     "repro.forecast",
     "repro.mobility",
 )
-"""Packages whose outputs feed caches, fingerprints, or plan decisions."""
+"""Packages whose outputs feed caches, fingerprints, or plan decisions.
+``repro.mec`` includes the shared-channel contention model
+(``repro.mec.channel``) and the best-response game (``repro.mec.game``):
+channel quality draws and best-response visit orders must replay
+identically for a given seed."""
 
 _SEEDED_NUMPY_ENTRYPOINTS = {
     "default_rng",

@@ -292,6 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny fast path (16 requests, 4 apps of 30 functions, 4 servers) for CI",
     )
 
+    cont = sub.add_parser(
+        "contention-bench",
+        help="compare contention-blind, contention-aware and best-response "
+             "planning on a shared wireless channel",
+    )
+    cont.add_argument(
+        "--users", nargs="*", type=int, default=None, metavar="N",
+        help="co-offloading user counts to sweep (default: 1 2 4 6 8)",
+    )
+    cont.add_argument(
+        "--channel-capacity", type=float, default=None,
+        help="total shared-channel capacity in data units/s "
+             "(default: the profile's per-device bandwidth)",
+    )
+    cont.add_argument(
+        "--quality-spread", type=float, default=0.0,
+        help="per-user channel-gain spread in [0, 1): gains drawn from "
+             "[1-s, 1+s] deterministically per seed (0 = identical links)",
+    )
+    cont.add_argument(
+        "--algorithm", choices=["spectral", "maxflow", "kl"], default="spectral"
+    )
+    cont.add_argument("--profile", choices=["quick", "paper"], default="quick")
+    cont.add_argument("--seed", type=int, default=0)
+    cont.add_argument("--json", action="store_true", help="emit rows as JSON")
+
     lint = sub.add_parser(
         "lint", help="run the static-analysis battery (also: repro-lint)"
     )
@@ -882,6 +908,63 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_contention_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.contention import run_contention_experiment
+
+    user_counts = tuple(args.users) if args.users else (1, 2, 4, 6, 8)
+    rows, curve = run_contention_experiment(
+        profile=_profile(args.profile),
+        user_counts=user_counts,
+        algorithm=args.algorithm,
+        channel_capacity=args.channel_capacity,
+        quality_spread=args.quality_spread,
+        seed=args.seed,
+    )
+    if args.json:
+        import json as _json
+
+        import dataclasses
+
+        print(
+            _json.dumps(
+                {
+                    "rows": [dataclasses.asdict(r) for r in rows],
+                    "curve": [dataclasses.asdict(p) for p in curve],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        render_table(
+            ["users", "b_i(n)", "per-user e_t", "per-user t_t"],
+            [
+                [p.n_users, p.effective_rate, p.transmission_energy, p.transmission_time]
+                for p in curve
+            ],
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["arm", "users", "planned E+T", "channel E+T", "sim E", "sim T", "offloaders"],
+            [
+                [
+                    r.arm,
+                    r.n_users,
+                    r.planned_combined,
+                    r.evaluated_combined,
+                    r.simulated_energy,
+                    r.simulated_completion,
+                    r.offloaders,
+                ]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run as run_lint
 
@@ -901,6 +984,7 @@ _COMMANDS = {
     "serve-bench": cmd_serve_bench,
     "serve-http": cmd_serve_http,
     "fleet-bench": cmd_fleet_bench,
+    "contention-bench": cmd_contention_bench,
     "lint": cmd_lint,
 }
 

@@ -13,6 +13,12 @@ so the same code runs the paper's scales and the laptop-bench scales.
 """
 
 from repro.experiments.claims import CLAIMS, ClaimResult, verify_claims
+from repro.experiments.contention import (
+    ContentionCurvePoint,
+    ContentionRow,
+    contention_curve,
+    run_contention_experiment,
+)
 from repro.experiments.figures import (
     EnergyRow,
     run_multiuser_energy_experiment,
@@ -53,4 +59,8 @@ __all__ = [
     "verify_claims",
     "ClaimResult",
     "CLAIMS",
+    "run_contention_experiment",
+    "contention_curve",
+    "ContentionRow",
+    "ContentionCurvePoint",
 ]

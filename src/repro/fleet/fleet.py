@@ -40,6 +40,7 @@ from repro.fleet.routing import RoutingPolicy, RoundRobinRouting, ServerLoad
 from repro.forecast.proactive import DEFAULT_UTILISATION_THRESHOLD, FleetTelemetry
 from repro.forecast.sla import SLAReport, UserSLA
 from repro.mec.admission import AllocationPolicy
+from repro.mec.channel import SharedChannel
 from repro.mec.devices import EdgeServer, MobileDevice
 from repro.mec.energy import ConsumptionBreakdown, local_compute_time, local_energy
 from repro.mec.online import AdmissionRecord, OnlinePlanner
@@ -122,13 +123,17 @@ class FleetServer:
         config: "PlannerConfig | None" = None,
         allocation: AllocationPolicy | None = None,
         cache_capacity: int = 256,
+        channel: SharedChannel | None = None,
     ) -> None:
         self.server_id = server_id
         self.server = server
         self._cut_strategy = cut_strategy
         self._config = config
         self._allocation = allocation
-        self.planner = OnlinePlanner(server, cut_strategy, config=config, allocation=allocation)
+        self._channel = channel
+        self.planner = OnlinePlanner(
+            server, cut_strategy, config=config, allocation=allocation, channel=channel
+        )
         self.cache = PlanCache(capacity=cache_capacity)
         self.admitted: dict[str, _AdmittedUser] = {}
 
@@ -243,7 +248,11 @@ class FleetServer:
             raise KeyError(f"user {user_id!r} not admitted on {self.server_id!r}")
         survivors = list(self.admitted.values())
         self.planner = OnlinePlanner(
-            self.server, self._cut_strategy, config=self._config, allocation=self._allocation
+            self.server,
+            self._cut_strategy,
+            config=self._config,
+            allocation=self._allocation,
+            channel=self._channel,
         )
         for survivor in survivors:
             self.planner.admit(survivor.device, survivor.graph, plan=survivor.plan)
@@ -254,7 +263,11 @@ class FleetServer:
         drained = list(self.admitted.values())
         self.admitted.clear()
         self.planner = OnlinePlanner(
-            self.server, self._cut_strategy, config=self._config, allocation=self._allocation
+            self.server,
+            self._cut_strategy,
+            config=self._config,
+            allocation=self._allocation,
+            channel=self._channel,
         )
         return drained
 
@@ -375,6 +388,7 @@ class EdgeFleet:
         migration: MigrationCostModel | None = None,
         forecaster: str | None = "ewma",
         handover: "HandoverPolicy | None" = None,
+        channel: SharedChannel | None = None,
     ) -> None:
         from repro.core.baselines import make_planner
 
@@ -415,6 +429,10 @@ class EdgeFleet:
         self.telemetry: FleetTelemetry | None = (
             FleetTelemetry(self.metrics, forecaster) if forecaster is not None else None
         )
+        self.channel = channel
+        """Optional shared-channel spec applied per server: each cell has
+        its own spectrum, so every :class:`FleetServer` prices uploads at
+        ``b_i(n)`` over *its* co-offloading population."""
         self.servers: dict[str, FleetServer] = {
             server_id: FleetServer(
                 server_id,
@@ -423,6 +441,7 @@ class EdgeFleet:
                 config=template.config,
                 allocation=allocation,
                 cache_capacity=cache_capacity,
+                channel=channel,
             )
             for server_id, server in servers.items()
         }

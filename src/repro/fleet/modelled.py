@@ -73,7 +73,12 @@ def hypothetical_consumption(
         remote_parts[device.device_id] = remote
     if not users:
         return SystemConsumption()
-    system = MECSystem(server.server, users, allocation=server.planner.allocation)
+    system = MECSystem(
+        server.server,
+        users,
+        allocation=server.planner.allocation,
+        channel=server.planner.channel,
+    )
     return system.evaluate_placement(apps, remote_parts)
 
 
@@ -103,7 +108,12 @@ def hypothetical_remote_parts(
         uid: [] for uid in state.apps
     }
     bisections[device.device_id] = plan.bisections
-    system = MECSystem(server.server, users, allocation=server.planner.allocation)
+    system = MECSystem(
+        server.server,
+        users,
+        allocation=server.planner.allocation,
+        channel=server.planner.channel,
+    )
     greedy = generate_offloading_scheme(
         system,
         apps,

@@ -15,6 +15,11 @@ from repro.mec.admission import (
     ServerAllocation,
 )
 from repro.mec.battery import BatteryModel
+from repro.mec.channel import (
+    ChannelQuality,
+    SharedChannel,
+    make_quality_profile,
+)
 from repro.mec.devices import DeviceProfile, EdgeServer, MobileDevice
 from repro.mec.energy import (
     ConsumptionBreakdown,
@@ -23,6 +28,12 @@ from repro.mec.energy import (
     remote_compute_time,
     transmission_energy,
     transmission_time,
+)
+from repro.mec.game import (
+    BestResponseMove,
+    BestResponseResult,
+    best_response_equilibrium,
+    solo_offload_set,
 )
 from repro.mec.greedy import GreedyResult, generate_offloading_scheme
 from repro.mec.objective import ObjectiveWeights
@@ -60,6 +71,13 @@ __all__ = [
     "PartitionedApplication",
     "GreedyResult",
     "generate_offloading_scheme",
+    "ChannelQuality",
+    "SharedChannel",
+    "make_quality_profile",
+    "BestResponseMove",
+    "BestResponseResult",
+    "best_response_equilibrium",
+    "solo_offload_set",
     "validate_scheme",
     "ValidationResult",
     "BatteryModel",

@@ -1,0 +1,192 @@
+"""Shared-channel contention: load-dependent effective uplink rates.
+
+The paper prices every transmission with a constant per-user bandwidth
+``b`` (formulas (4)/(5)), which silently assumes each user owns private
+spectrum.  Multiuser resource-allocation work (You & Huang's TDMA/OFDMA
+formulation, Chen et al.'s multi-user offloading game — see PAPERS.md)
+shows the rate a user actually gets is *load-dependent*: users
+co-offloading to the same server share one wireless channel, so the
+effective per-user rate falls as the co-offloading population grows.
+
+:class:`SharedChannel` models that contention deterministically:
+
+* a total channel ``capacity`` (data units/s) shared by all users who
+  currently transmit (cut weight > 0);
+* a per-user :class:`ChannelQuality` — transmission power, channel gain
+  and noise in the spirit of the COSIM device model — collapsed into a
+  normalised spectral efficiency via ``log2(1 + SNR)``;
+* an access scheme (equal-share TDMA to start): ``n`` co-offloading
+  users each get a ``1/n`` time share of the spectrum.
+
+The effective rate is always capped by the device's own uplink ``b_i``
+— a generous channel can never make a slow handset upload faster than
+its physical link — so a *single* offloading user on a channel with
+``capacity >= b_i`` and default quality gets exactly ``b_i``: the
+contention-aware evaluation degenerates bit-identically to the paper's
+constant-``b`` model (pinned by the parity tests).
+
+Everything here is a pure function of its inputs; the fixed-point
+iteration that couples rates to offload decisions lives in
+:func:`repro.mec.greedy.generate_offloading_scheme`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Collection, Mapping
+
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ensure_positive
+
+ACCESS_SCHEMES = ("tdma",)
+"""Supported multiple-access disciplines.  ``"tdma"`` gives every
+co-offloading user an equal ``1/n`` time share of the spectrum."""
+
+DEFAULT_PLANNING_ROUNDS = 8
+"""Fixed-point budget for rate/placement iteration in the greedy."""
+
+
+@dataclass(frozen=True)
+class ChannelQuality:
+    """One user's link quality: power, gain and noise (COSIM-style).
+
+    The three physical-layer knobs collapse into a single normalised
+    spectral efficiency: ``log2(1 + SNR) / log2(1 + reference_SNR)``,
+    so the default quality (``SNR == reference``) is exactly ``1.0``
+    and a user's share of the channel scales with how good their link
+    actually is.
+    """
+
+    transmit_power: float = 1.0
+    """Relative transmission power (shapes SNR only; the *energy* price
+    of transmission stays the device's ``p_t``)."""
+
+    gain: float = 1.0
+    """Channel gain between the user and the server."""
+
+    noise: float = 1.0
+    """Noise power on the user's link."""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.transmit_power, "transmit_power")
+        ensure_positive(self.gain, "gain")
+        ensure_positive(self.noise, "noise")
+
+    @property
+    def snr(self) -> float:
+        """Signal-to-noise ratio ``p * g / sigma``."""
+        return self.transmit_power * self.gain / self.noise
+
+    def efficiency(self, reference_snr: float = 1.0) -> float:
+        """Normalised spectral efficiency ``log2(1+SNR)/log2(1+ref)``."""
+        ensure_positive(reference_snr, "reference_snr")
+        return math.log2(1.0 + self.snr) / math.log2(1.0 + reference_snr)
+
+
+@dataclass(frozen=True)
+class SharedChannel:
+    """A wireless channel shared by every user co-offloading to one server.
+
+    ``rate_for`` is the whole model: under equal-share TDMA, ``n``
+    active users each get ``capacity * efficiency_i / n``, capped at
+    the device's own uplink bandwidth.
+    """
+
+    capacity: float
+    """Total channel capacity (data units/s) split among active users."""
+
+    access: str = "tdma"
+    """Multiple-access scheme (see :data:`ACCESS_SCHEMES`)."""
+
+    reference_snr: float = 1.0
+    """SNR at which a user's spectral efficiency is exactly ``1.0``."""
+
+    quality: Mapping[str, ChannelQuality] = field(default_factory=dict)
+    """Per-user quality overrides; absent users get the default
+    (efficiency exactly ``1.0``)."""
+
+    planning_rounds: int = DEFAULT_PLANNING_ROUNDS
+    """Upper bound on greedy rate/placement fixed-point iterations."""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacity, "capacity")
+        ensure_positive(self.reference_snr, "reference_snr")
+        if self.access not in ACCESS_SCHEMES:
+            raise ValueError(
+                f"unknown access scheme {self.access!r}; expected one of {ACCESS_SCHEMES}"
+            )
+        if self.planning_rounds < 1:
+            raise ValueError(
+                f"planning_rounds must be >= 1, got {self.planning_rounds}"
+            )
+
+    # ------------------------------------------------------------------
+    def quality_for(self, user_id: str) -> ChannelQuality:
+        """The user's quality profile (default quality when absent)."""
+        return self.quality.get(user_id, ChannelQuality())
+
+    def efficiency_for(self, user_id: str) -> float:
+        """The user's normalised spectral efficiency."""
+        quality = self.quality.get(user_id)
+        if quality is None:
+            # Default quality at the reference SNR: exactly 1.0, with no
+            # float round-trip through log2 — the single-user parity
+            # guarantee rests on this short-circuit.
+            return 1.0
+        return quality.efficiency(self.reference_snr)
+
+    def rate_for(self, user_id: str, n_active: int, device_bandwidth: float) -> float:
+        """Effective uplink rate ``b_i(n)`` for one user.
+
+        ``n_active`` is the number of co-offloading users sharing the
+        channel (at least 1 — the user themselves).  The share is capped
+        at the device's own link rate: spectrum cannot make a handset
+        faster than its radio.
+        """
+        ensure_positive(device_bandwidth, "device_bandwidth")
+        n = max(1, n_active)
+        share = self.capacity * self.efficiency_for(user_id) / n
+        return min(share, device_bandwidth)
+
+    def planning_rates(
+        self, bandwidths: Mapping[str, float], active: Collection[str]
+    ) -> dict[str, float]:
+        """Effective rate for every known user given the active set.
+
+        *bandwidths* maps user id to device uplink bandwidth; *active*
+        is the set of users currently transmitting (cut weight > 0).
+        Every user — active or not — is priced at ``b_i(n)`` with ``n``
+        the active population (min 1), so a planner evaluating "what if
+        this user started transmitting" has a rate to hand; the greedy's
+        fixed-point loop re-derives ``n`` from each round's outcome.
+        """
+        n = max(1, len(active))
+        return {
+            user_id: self.rate_for(user_id, n, bandwidth)
+            for user_id, bandwidth in sorted(bandwidths.items())
+        }
+
+
+def make_quality_profile(
+    user_ids: Collection[str], spread: float = 0.0, seed: int = 0
+) -> dict[str, ChannelQuality]:
+    """Deterministic per-user quality profiles for experiments.
+
+    Each user's channel gain is drawn uniformly from
+    ``[1 - spread, 1 + spread]`` via a :class:`RandomSource` keyed by
+    *seed* and the user id, so profiles replay identically across runs
+    and are independent of iteration order.  ``spread == 0`` returns an
+    empty mapping (every user at default quality — the parity regime).
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    if spread == 0.0:
+        return {}
+    source = RandomSource(seed)
+    return {
+        user_id: ChannelQuality(
+            gain=source.spawn("channel-gain", user_id).uniform(1.0 - spread, 1.0 + spread)
+        )
+        for user_id in sorted(user_ids)
+    }

@@ -1,0 +1,202 @@
+"""Decentralized best-response offloading game (Chen et al. baseline).
+
+The greedy pipeline is a *centralized* planner: one optimiser sees every
+user and minimises the system objective.  Chen et al.'s multi-user
+offloading work (PAPERS.md) studies the decentralized alternative — each
+user selfishly picks the strategy minimising *their own* cost given what
+everyone else currently does, and the system settles where no user wants
+to move (a Nash equilibrium of the congestion game).
+
+The strategy space here is deliberately binary, matching the paper's
+"offload or not" decision:
+
+* **offload** — the user's candidate remote set, computed once by running
+  the single-user greedy (Algorithm 2) on a solo system with the same
+  server, allocation policy and shared channel; or
+* **local** — run everything on the device.
+
+Users best-respond in a seeded-shuffle order (deterministic under a
+fixed seed, but not biased by user-id ordering) until a full round
+produces no moves.  Costs are each user's own combined ``E + T`` from
+the *full* system evaluation, so both congestion couplings — the shared
+server allocation and the shared wireless channel — feed the game.
+
+This is a baseline, not an optimiser: the equilibrium is typically worse
+than the centralized greedy (the price of anarchy), which is exactly the
+comparison ``benchmarks/bench_contention.py`` draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.mec.objective import ObjectiveWeights
+from repro.mec.scheme import PartitionedApplication
+from repro.mec.system import MECSystem, SystemConsumption
+from repro.utils.rng import RandomSource
+
+_EPS = 1e-12
+
+DEFAULT_MAX_ROUNDS = 32
+"""Round budget for best-response iteration.  Binary-strategy congestion
+games of this size converge in a handful of rounds; the cap only guards
+against pathological cost ties."""
+
+
+@dataclass(frozen=True)
+class BestResponseMove:
+    """One accepted strategy switch during best-response iteration."""
+
+    round_index: int
+    """0-based round in which the move happened."""
+
+    user_id: str
+
+    decision: str
+    """The strategy switched *to*: ``"offload"`` or ``"local"``."""
+
+    gain: float
+    """The user's own cost reduction from the switch (positive)."""
+
+
+@dataclass
+class BestResponseResult:
+    """Equilibrium placement plus the trajectory that reached it."""
+
+    remote_parts: dict[str, set[int]]
+    """Part-level placement at the final round (user id -> remote parts)."""
+
+    consumption: SystemConsumption
+    """Full-system consumption of the final placement."""
+
+    rounds: int
+    """Best-response rounds executed (including the final quiet round)."""
+
+    converged: bool
+    """True when the last round produced no moves — a Nash equilibrium
+    of the binary offloading game."""
+
+    moves: list[BestResponseMove] = field(default_factory=list)
+    """Accepted switches in execution order."""
+
+    offloaders: list[str] = field(default_factory=list)
+    """Users offloading a non-empty part set at equilibrium (sorted)."""
+
+
+def solo_offload_set(
+    system: MECSystem,
+    user_id: str,
+    apps: Mapping[str, PartitionedApplication],
+    bisections: Mapping[str, list[tuple[set[int], set[int]]]],
+    weights: ObjectiveWeights | None = None,
+    placement_mode: str = "anchored",
+) -> set[int]:
+    """The user's candidate "offload" strategy: their solo-optimal parts.
+
+    Runs the single-user greedy on a system containing only this user —
+    same server, allocation policy and shared channel — so the candidate
+    set is what the user would pick with the infrastructure to
+    themselves.  Congestion then enters through the *game*, not the
+    candidate: strategies stay fixed while occupancy decides their cost.
+    """
+    from repro.mec.greedy import generate_offloading_scheme
+
+    solo = MECSystem(
+        server=system.server,
+        users=[system.user(user_id)],
+        allocation=system.allocation,
+        channel=system.channel,
+    )
+    result = generate_offloading_scheme(
+        solo,
+        {user_id: apps[user_id]},
+        {user_id: bisections.get(user_id, [])},
+        weights=weights,
+        placement_mode=placement_mode,
+    )
+    return set(result.remote_parts.get(user_id, set()))
+
+
+def best_response_equilibrium(
+    system: MECSystem,
+    apps: Mapping[str, PartitionedApplication],
+    bisections: Mapping[str, list[tuple[set[int], set[int]]]],
+    weights: ObjectiveWeights | None = None,
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    placement_mode: str = "anchored",
+) -> BestResponseResult:
+    """Iterate per-user best responses until no user moves.
+
+    Every user starts all-local.  Each round visits the users in a
+    seeded-shuffle order; a user switches strategy iff the alternative
+    strictly lowers *their own* combined cost under the current play of
+    everyone else (shared-server waiting and shared-channel contention
+    included).  Terminates when a full round is quiet or after
+    *max_rounds* rounds.
+
+    Deterministic: the visit order comes from a
+    :class:`~repro.utils.rng.RandomSource` keyed by *seed*, and all
+    costs are pure functions of the placement.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    weights = weights or ObjectiveWeights()
+    user_ids = sorted(apps)
+    candidates = {
+        user_id: solo_offload_set(
+            system, user_id, apps, bisections, weights, placement_mode
+        )
+        for user_id in user_ids
+    }
+    order_source = RandomSource(seed).spawn("best-response")
+
+    placement: dict[str, set[int]] = {user_id: set() for user_id in user_ids}
+
+    def user_cost(user_id: str, trial: Mapping[str, set[int]]) -> float:
+        consumption = system.evaluate_placement(apps, trial)
+        breakdown = consumption.per_user[user_id]
+        return weights.combine(breakdown.energy, breakdown.time)
+
+    moves: list[BestResponseMove] = []
+    rounds = 0
+    converged = False
+    for round_index in range(max_rounds):
+        rounds += 1
+        moved = False
+        for user_id in order_source.spawn(str(round_index)).shuffled(user_ids):
+            candidate = candidates[user_id]
+            current = placement[user_id]
+            alternative = candidate if not current else set()
+            if alternative == current:
+                continue
+            cost_now = user_cost(user_id, placement)
+            trial = dict(placement)
+            trial[user_id] = alternative
+            cost_alt = user_cost(user_id, trial)
+            if cost_alt < cost_now - _EPS:
+                placement[user_id] = alternative
+                moves.append(
+                    BestResponseMove(
+                        round_index=round_index,
+                        user_id=user_id,
+                        decision="offload" if alternative else "local",
+                        gain=cost_now - cost_alt,
+                    )
+                )
+                moved = True
+        if not moved:
+            converged = True
+            break
+
+    consumption = system.evaluate_placement(apps, placement)
+    offloaders = sorted(uid for uid, parts in placement.items() if parts)
+    return BestResponseResult(
+        remote_parts=placement,
+        consumption=consumption,
+        rounds=rounds,
+        converged=converged,
+        moves=moves,
+        offloaders=offloaders,
+    )

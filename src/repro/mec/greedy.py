@@ -35,6 +35,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.mec.admission import MIN_REMOTE_LOAD, FCFSQueueAllocation
+from repro.mec.energy import transmission_energy, transmission_time
 from repro.mec.objective import ObjectiveWeights
 from repro.mec.scheme import OffloadingScheme, PartitionedApplication
 from repro.mec.system import MECSystem, SystemConsumption
@@ -63,6 +64,14 @@ class GreedyResult:
 
     remote_parts: dict[str, set[int]] = field(default_factory=dict)
     """Final part-level placement (user id -> remote part ids)."""
+
+    contention_rounds: int = 0
+    """Rate/placement fixed-point iterations run (0 = no shared channel:
+    the paper's constant-``b`` evaluation needed no iteration)."""
+
+    effective_rates: dict[str, float] = field(default_factory=dict)
+    """The per-user effective uplink rates the *final* greedy round was
+    priced at (empty without a shared channel)."""
 
 
 INITIAL_PLACEMENT_MODES = ("anchored", "dominated", "all-remote")
@@ -162,10 +171,18 @@ class PlacementEvaluator:
         apps: Mapping[str, PartitionedApplication],
         remote: Mapping[str, set[int]],
         weights: ObjectiveWeights,
+        rates: Mapping[str, float] | None = None,
     ) -> None:
         self.system = system
         self.apps = apps
         self.weights = weights
+        self.rates: dict[str, float] = dict(rates or {})
+        """Frozen per-user effective uplink rates for this greedy pass.
+        Users absent from the mapping are priced at their private device
+        bandwidth — exactly the paper's constant-``b`` model.  Under a
+        shared channel the caller freezes ``b_i(n)`` from the previous
+        fixed-point round so every move evaluation stays O(1) on the
+        device side (see :func:`generate_offloading_scheme`)."""
         self.remote: dict[str, set[int]] = {u: set(p) for u, p in remote.items()}
 
         # Per-part arrays, indexed by part_id, plus the communication
@@ -213,12 +230,19 @@ class PlacementEvaluator:
     # Totals
     # ------------------------------------------------------------------
     def _device_terms(self, user_id: str, local_w: float, cut: float) -> tuple[float, float]:
-        """(energy, device-side time) for one user's local work and cut."""
+        """(energy, device-side time) for one user's local work and cut.
+
+        The transmission terms go through the shared formula-(4)/(5)
+        helpers — the single source of truth also used by
+        :meth:`MECSystem._evaluate_user` — at the user's effective rate,
+        so the greedy and the system evaluation cannot drift.
+        """
         device = self.system.user(user_id).device
+        rate = self.rates.get(user_id, device.bandwidth)
         t_c = local_w / device.compute_capacity
         e_c = t_c * device.power_compute
-        e_t = cut * device.power_transmit / device.bandwidth
-        t_t = cut / device.bandwidth
+        e_t = transmission_energy(cut, device.power_transmit, rate)
+        t_t = transmission_time(cut, rate)
         return e_c + e_t, t_c + t_t
 
     def _server_time_total(self, loads: Mapping[str, float]) -> float:
@@ -266,10 +290,14 @@ class PlacementEvaluator:
             + 2.0 * self._w_remote[user_id][part_id]
             - self._w_total[user_id][part_id]
         )
+        # Exact arithmetic keeps the cut non-negative; incremental float
+        # updates can leave a ~1e-16 residue that the (validating)
+        # shared transmission helpers would reject.  Clamp here — the
+        # numpy batch path applies the identical np.maximum clamp.
         return (
             self._local_w[user_id] + computation,
             self._remote_w[user_id] - computation,
-            self._cut[user_id] + delta_cut,
+            max(self._cut[user_id] + delta_cut, 0.0),
         )
 
     def evaluate_move(self, user_id: str, part_id: int) -> float:
@@ -328,22 +356,27 @@ class PlacementEvaluator:
             parts = np.asarray(part_ids, dtype=np.int64)
             computation = self._comp[user_id][parts]
             new_local = self._local_w[user_id] + computation
-            new_cut = self._cut[user_id] + (
-                -self._anchor[user_id][parts]
-                + 2.0 * self._w_remote[user_id][parts]
-                - self._w_total[user_id][parts]
+            new_cut = np.maximum(
+                self._cut[user_id]
+                + (
+                    -self._anchor[user_id][parts]
+                    + 2.0 * self._w_remote[user_id][parts]
+                    - self._w_total[user_id][parts]
+                ),
+                0.0,
             )
             new_remote[positions] = self._remote_w[user_id] - computation
             user_positions[user_id] = positions
 
             device = self.system.user(user_id).device
+            rate = self.rates.get(user_id, device.bandwidth)
             old_energy, old_time = self._device_terms(
                 user_id, self._local_w[user_id], self._cut[user_id]
             )
             t_c = new_local / device.compute_capacity
             e_c = t_c * device.power_compute
-            e_t = new_cut * device.power_transmit / device.bandwidth
-            t_t = new_cut / device.bandwidth
+            e_t = new_cut * device.power_transmit / rate
+            t_t = new_cut / rate
             delta_device[positions] = self.weights.energy * (
                 (e_c + e_t) - old_energy
             ) + self.weights.time * ((t_c + t_t) - old_time)
@@ -466,6 +499,25 @@ def generate_offloading_scheme(
     :meth:`PlacementEvaluator.evaluate_moves` under ``"numpy"``/``"auto"``,
     while the lazy loop's single-candidate revalidations stay scalar.
     The move sequence is bit-identical across kernels.
+
+    With a :class:`~repro.mec.channel.SharedChannel` on *system*, the
+    effective rate every user transmits at depends on who offloads, and
+    who offloads depends on the rate — a fixed point.  The greedy
+    iterates it: each round freezes ``b_i(n)`` from the previous round's
+    co-offloading set, re-runs the full greedy from the same initial
+    placement, and stops when the rates reproduce themselves (or after
+    ``channel.planning_rounds`` rounds; congestion fixed points can
+    oscillate, so the round whose placement evaluates best under its
+    *own* contention-consistent rates wins).  Per-part moves can never
+    *thin* the co-offloading population — every intermediate placement
+    still transmits — so a final whole-user sweep offers each
+    contention-limited, unfrozen offloader the switch to fully local
+    (and local users their remote set back once spectrum frees up),
+    accepting flips that lower the evaluated system objective.  With one
+    offloading user and a channel at least as fast as the device link
+    the rates equal the private bandwidths, the sweep finds nothing to
+    flip, and the result is bit-identical to the constant-``b`` path
+    (pinned by the parity tests).
     """
     if kernel not in GREEDY_KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {GREEDY_KERNELS}")
@@ -476,79 +528,180 @@ def generate_offloading_scheme(
     for user_id, parts in frozen.items():
         if user_id in apps:
             remote[user_id] = set(parts)
-    evaluator = PlacementEvaluator(system, apps, remote, weights)
 
     def movable(user_id: str, part_id: int) -> bool:
         return user_id not in frozen
 
-    best_value = evaluator.combined()
-    history = [best_value]
-    moves: list[tuple[str, int]] = []
+    def run_pass(
+        rates: Mapping[str, float] | None,
+    ) -> tuple[PlacementEvaluator, list[tuple[str, int]], list[float]]:
+        """One full greedy descent from the initial placement."""
+        evaluator = PlacementEvaluator(system, apps, remote, weights, rates=rates)
+        best_value = evaluator.combined()
+        history = [best_value]
+        moves: list[tuple[str, int]] = []
 
-    def scan_values(scan: list[tuple[str, int]]) -> list[float]:
-        if batched:
-            return evaluator.evaluate_moves(scan)
-        return [evaluator.evaluate_move(user_id, part_id) for user_id, part_id in scan]
+        def scan_values(scan: list[tuple[str, int]]) -> list[float]:
+            if batched:
+                return evaluator.evaluate_moves(scan)
+            return [evaluator.evaluate_move(user_id, part_id) for user_id, part_id in scan]
 
-    if exhaustive:
-        while True:
-            best_candidate: tuple[str, int] | None = None
-            best_candidate_value = best_value
+        if exhaustive:
+            while True:
+                best_candidate: tuple[str, int] | None = None
+                best_candidate_value = best_value
+                scan = [
+                    (user_id, part_id)
+                    for user_id, part_id in evaluator.candidates()
+                    if movable(user_id, part_id)
+                ]
+                for (user_id, part_id), value in zip(scan, scan_values(scan)):
+                    if value < best_candidate_value - _EPS:
+                        best_candidate = (user_id, part_id)
+                        best_candidate_value = value
+                if best_candidate is None:
+                    break
+                evaluator.apply_move(*best_candidate)
+                best_value = best_candidate_value
+                history.append(best_value)
+                moves.append(best_candidate)
+        else:
+            # Lazy greedy: heap of (last-known objective-after-move, candidate).
+            # heapify and sequential heappush build different internal arrays,
+            # but every (value, user, part) key is distinct, so the pop
+            # sequence — all the greedy loop observes — is identical.
             scan = [
                 (user_id, part_id)
                 for user_id, part_id in evaluator.candidates()
                 if movable(user_id, part_id)
             ]
-            for (user_id, part_id), value in zip(scan, scan_values(scan)):
-                if value < best_candidate_value - _EPS:
-                    best_candidate = (user_id, part_id)
-                    best_candidate_value = value
-            if best_candidate is None:
-                break
-            evaluator.apply_move(*best_candidate)
-            best_value = best_candidate_value
-            history.append(best_value)
-            moves.append(best_candidate)
-    else:
-        # Lazy greedy: heap of (last-known objective-after-move, candidate).
-        # heapify and sequential heappush build different internal arrays,
-        # but every (value, user, part) key is distinct, so the pop
-        # sequence — all the greedy loop observes — is identical.
-        scan = [
-            (user_id, part_id)
-            for user_id, part_id in evaluator.candidates()
-            if movable(user_id, part_id)
-        ]
-        heap: list[tuple[float, str, int]] = [
-            (value, user_id, part_id)
-            for (user_id, part_id), value in zip(scan, scan_values(scan))
-        ]
-        heapq.heapify(heap)
-        while heap:
-            value, user_id, part_id = heapq.heappop(heap)
-            if part_id not in evaluator.remote.get(user_id, set()):
-                continue
-            current = evaluator.evaluate_move(user_id, part_id)
-            if current > value + _EPS:
-                # Stale entry: the move got worse since it was queued.
-                # Requeue with the fresh value unless it can no longer
-                # improve at all.  Each requeue strictly increases the
-                # stored key, so the loop terminates.
-                if current < best_value - _EPS:
-                    heapq.heappush(heap, (current, user_id, part_id))
-                continue
-            # Fresh value is at least as good as its stored key, which was
-            # the heap minimum — accept it if it improves, otherwise no
-            # remaining candidate improves (move benefits only shrink as
-            # the placement drains) and the loop is done.
-            if current >= best_value - _EPS:
-                break
-            evaluator.apply_move(user_id, part_id)
-            best_value = current
-            history.append(best_value)
-            moves.append((user_id, part_id))
+            heap: list[tuple[float, str, int]] = [
+                (value, user_id, part_id)
+                for (user_id, part_id), value in zip(scan, scan_values(scan))
+            ]
+            heapq.heapify(heap)
+            while heap:
+                value, user_id, part_id = heapq.heappop(heap)
+                if part_id not in evaluator.remote.get(user_id, set()):
+                    continue
+                current = evaluator.evaluate_move(user_id, part_id)
+                if current > value + _EPS:
+                    # Stale entry: the move got worse since it was queued.
+                    # Requeue with the fresh value unless it can no longer
+                    # improve at all.  Each requeue strictly increases the
+                    # stored key, so the loop terminates.
+                    if current < best_value - _EPS:
+                        heapq.heappush(heap, (current, user_id, part_id))
+                    continue
+                # Fresh value is at least as good as its stored key, which was
+                # the heap minimum — accept it if it improves, otherwise no
+                # remaining candidate improves (move benefits only shrink as
+                # the placement drains) and the loop is done.
+                if current >= best_value - _EPS:
+                    break
+                evaluator.apply_move(user_id, part_id)
+                best_value = current
+                history.append(best_value)
+                moves.append((user_id, part_id))
+        return evaluator, moves, history
 
-    final_remote = evaluator.remote
+    channel = system.channel
+    contention_rounds = 0
+    final_rates: dict[str, float] = {}
+    if channel is None:
+        evaluator, moves, history = run_pass(None)
+        final_remote = evaluator.remote
+    else:
+        bandwidths = {
+            uid: system.user(uid).device.bandwidth for uid in sorted(apps)
+        }
+
+        def active_users(placement: Mapping[str, set[int]]) -> list[str]:
+            return [
+                uid
+                for uid in sorted(apps)
+                if apps[uid].cut_weight(placement.get(uid, set())) > 0
+            ]
+
+        # Round 1 runs at the *uncontended* rates (active set empty →
+        # ``n = 1``), i.e. it reproduces the contention-blind greedy
+        # exactly; since every round's placement is evaluated under its
+        # own contention-consistent rates and the best one wins, the
+        # result can never be worse than contention-blind planning
+        # evaluated under the channel.  Later rounds freeze the rates
+        # the previous round's co-offloading set implies.
+        rates = channel.planning_rates(bandwidths, [])
+        seen_rates = {tuple(sorted(rates.items()))}
+        best_combined = float("inf")
+        candidates: dict[str, set[int]] = {}
+        for round_index in range(channel.planning_rounds):
+            round_evaluator, round_moves, round_history = run_pass(rates)
+            contention_rounds += 1
+            if round_index == 0:
+                # The uncontended pass: each user's remote set here is
+                # their best-case offload — the re-offer candidate the
+                # sweep below hands back to withdrawn users.
+                candidates = {
+                    uid: set(parts) for uid, parts in round_evaluator.remote.items()
+                }
+            actual = system.evaluate_placement(apps, round_evaluator.remote)
+            combined = actual.combined(weights)
+            if combined < best_combined:
+                best_combined = combined
+                evaluator, moves, history = round_evaluator, round_moves, round_history
+            new_rates = channel.planning_rates(
+                bandwidths, active_users(round_evaluator.remote)
+            )
+            rates_key = tuple(sorted(new_rates.items()))
+            if rates_key in seen_rates:
+                # Fixed point reached, or the iteration entered a cycle
+                # (congestion fixed points can oscillate) — either way
+                # no new placements are coming.
+                break
+            seen_rates.add(rates_key)
+            rates = new_rates
+
+        # Withdrawal/re-offer sweep: per-part moves leave every offloader
+        # transmitting, so the co-offloading population never shrinks
+        # within a pass.  Sweep at whole-user granularity instead: a
+        # contention-limited offloader (effective rate strictly below
+        # their own link) is offered the switch to fully local, and a
+        # local user is offered their pass-final remote set back (the
+        # spectrum freed by earlier withdrawals may now make it pay).
+        # Flips that lower the evaluated system objective are accepted
+        # until a full sweep is quiet.  Frozen users never flip; with a
+        # single offloading user at full rate both directions are
+        # no-ops, preserving constant-``b`` parity.
+        placement = {uid: set(parts) for uid, parts in evaluator.remote.items()}
+        consumption = system.evaluate_placement(apps, placement)
+        best_combined = consumption.combined(weights)
+        improved = True
+        while improved:
+            improved = False
+            for user_id in sorted(placement):
+                if user_id in frozen:
+                    continue
+                if placement[user_id]:
+                    rate = consumption.effective_bandwidth.get(user_id)
+                    if rate is None or rate >= bandwidths[user_id]:
+                        continue
+                    alternative: set[int] = set()
+                else:
+                    alternative = candidates[user_id]
+                    if not alternative:
+                        continue
+                trial = dict(placement)
+                trial[user_id] = alternative
+                trial_consumption = system.evaluate_placement(apps, trial)
+                trial_combined = trial_consumption.combined(weights)
+                if trial_combined < best_combined - _EPS:
+                    placement = trial
+                    consumption = trial_consumption
+                    best_combined = trial_combined
+                    improved = True
+        final_remote = placement
+        final_rates = dict(consumption.effective_bandwidth)
+
     consumption = system.evaluate_placement(apps, final_remote)
     scheme = OffloadingScheme(
         remote_functions={
@@ -567,4 +720,6 @@ def generate_offloading_scheme(
         moves=moves,
         history=history,
         remote_parts=final_remote,
+        contention_rounds=contention_rounds,
+        effective_rates=dict(final_rates),
     )

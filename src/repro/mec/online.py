@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.admission import AllocationPolicy
+from repro.mec.channel import SharedChannel
 
 if TYPE_CHECKING:  # pragma: no cover - repro.core imports repro.mec
     from repro.core.config import PlannerConfig
@@ -61,6 +62,7 @@ class OnlinePlanner:
         cut_strategy: "CutStrategy",
         config: "PlannerConfig | None" = None,
         allocation: AllocationPolicy | None = None,
+        channel: SharedChannel | None = None,
     ) -> None:
         # Local imports: repro.core depends on repro.mec, not vice versa.
         from repro.core.config import PlannerConfig
@@ -69,6 +71,9 @@ class OnlinePlanner:
         self.server = server
         self.config = config or PlannerConfig()
         self.allocation = allocation
+        self.channel = channel
+        """Optional shared wireless channel: admissions and consumption
+        queries price transmissions at the contention-aware ``b_i(n)``."""
         self._planner = OffloadingPlanner(
             cut_strategy, config=self.config, strategy_name="online"
         )
@@ -105,7 +110,12 @@ class OnlinePlanner:
             device.device_id, call_graph, plan.parts
         )
 
-        system = MECSystem(self.server, list(self.state.users), allocation=self.allocation)
+        system = MECSystem(
+            self.server,
+            list(self.state.users),
+            allocation=self.allocation,
+            channel=self.channel,
+        )
         # Frozen users enter the greedy with no bisections -> no candidate
         # moves; their remote sets are seeded from the recorded placement
         # by replaying them as one un-split "side" that initial_placement
@@ -136,7 +146,12 @@ class OnlinePlanner:
         """Consumption of the deployment as it stands."""
         if not self.state.users:
             raise ValueError("no users admitted yet")
-        system = MECSystem(self.server, list(self.state.users), allocation=self.allocation)
+        system = MECSystem(
+            self.server,
+            list(self.state.users),
+            allocation=self.allocation,
+            channel=self.channel,
+        )
         return system.evaluate_placement(self.state.apps, self.state.remote_parts)
 
 

@@ -13,6 +13,7 @@ from collections.abc import Mapping
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.admission import AllocationPolicy, FCFSQueueAllocation
+from repro.mec.channel import SharedChannel
 from repro.mec.devices import EdgeServer, MobileDevice
 from repro.mec.energy import (
     ConsumptionBreakdown,
@@ -44,6 +45,12 @@ class SystemConsumption:
     """System-wide totals plus the per-user breakdown."""
 
     per_user: dict[str, ConsumptionBreakdown] = field(default_factory=dict)
+
+    effective_bandwidth: dict[str, float] = field(default_factory=dict)
+    """Per-user effective uplink rate ``b_i(n)`` the transmission terms
+    were priced at.  Populated only when the system carries a
+    :class:`~repro.mec.channel.SharedChannel`; empty means every user
+    was priced at their private device bandwidth (the paper's model)."""
 
     @property
     def energy(self) -> float:
@@ -79,6 +86,7 @@ class MECSystem:
         server: EdgeServer,
         users: list[UserContext],
         allocation: AllocationPolicy | None = None,
+        channel: SharedChannel | None = None,
     ) -> None:
         if not users:
             raise ValueError("an MEC system needs at least one user")
@@ -88,6 +96,11 @@ class MECSystem:
         self.server = server
         self.users = list(users)
         self.allocation = allocation or FCFSQueueAllocation()
+        self.channel = channel
+        """Optional shared wireless channel: when set, co-offloading
+        users split spectrum and formulas (4)/(5) are priced at the
+        load-dependent effective rate ``b_i(n)`` instead of the private
+        device bandwidth."""
         self._by_id = {user.user_id: user for user in self.users}
 
     def user(self, user_id: str) -> UserContext:
@@ -109,6 +122,13 @@ class MECSystem:
         *apps* maps user id to the partitioned application; *remote_parts*
         maps user id to the part ids placed on the server.  Users absent
         from *remote_parts* run fully locally.
+
+        With a :class:`~repro.mec.channel.SharedChannel` attached, the
+        placement itself determines who transmits (cut weight > 0), so
+        the effective rates need no iteration here: each user's
+        transmission terms are priced at ``b_i(n)`` with ``n`` the
+        number of co-offloading users under *this* placement, and the
+        rates used are recorded on the returned consumption.
         """
         remote_loads = {
             user.user_id: apps[user.user_id].remote_weight(
@@ -118,6 +138,7 @@ class MECSystem:
             if user.user_id in apps
         }
         allocation = self.allocation.allocate(self.server, remote_loads)
+        rates = self.effective_rates(apps, remote_parts)
 
         consumption = SystemConsumption()
         for user in self.users:
@@ -128,8 +149,36 @@ class MECSystem:
             consumption.per_user[user.user_id] = self._evaluate_user(
                 user, app, parts_remote, allocation.capacity_for(user.user_id),
                 allocation.waiting_for(user.user_id),
+                bandwidth=rates.get(user.user_id),
             )
+        consumption.effective_bandwidth = rates
         return consumption
+
+    def effective_rates(
+        self,
+        apps: Mapping[str, PartitionedApplication],
+        remote_parts: Mapping[str, set[int]],
+    ) -> dict[str, float]:
+        """Per-user effective uplink rates under the given placement.
+
+        Empty without a shared channel (every user keeps their private
+        bandwidth); otherwise ``b_i(n)`` with ``n`` the co-offloading
+        population of this placement.
+        """
+        if self.channel is None:
+            return {}
+        active = [
+            user.user_id
+            for user in self.users
+            if user.user_id in apps
+            and apps[user.user_id].cut_weight(remote_parts.get(user.user_id, set())) > 0
+        ]
+        bandwidths = {
+            user.user_id: user.device.bandwidth
+            for user in self.users
+            if user.user_id in apps
+        }
+        return self.channel.planning_rates(bandwidths, active)
 
     def evaluate_scheme(
         self,
@@ -155,17 +204,19 @@ class MECSystem:
         parts_remote: set[int],
         allocated_capacity: float,
         waiting: float,
+        bandwidth: float | None = None,
     ) -> ConsumptionBreakdown:
         device = user.device
+        rate = device.bandwidth if bandwidth is None else bandwidth
         local_weight = app.local_weight(parts_remote)
         remote_weight = app.remote_weight(parts_remote)
         cut = app.cut_weight(parts_remote)
 
         t_c = local_compute_time(local_weight, device.compute_capacity)
         t_s = remote_compute_time(remote_weight, allocated_capacity or 1.0, waiting)
-        t_t = transmission_time(cut, device.bandwidth) if cut > 0 else 0.0
+        t_t = transmission_time(cut, rate) if cut > 0 else 0.0
         e_c = local_energy(t_c, device.power_compute)
-        e_t = transmission_energy(cut, device.power_transmit, device.bandwidth) if cut > 0 else 0.0
+        e_t = transmission_energy(cut, device.power_transmit, rate) if cut > 0 else 0.0
 
         return ConsumptionBreakdown(
             local_energy=e_c,

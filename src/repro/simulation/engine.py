@@ -100,10 +100,12 @@ class SimulationEngine:
             )
         self.shared_uplink_capacity = shared_uplink_capacity
         """When set, all users contend for one wireless channel of this
-        total capacity instead of owning private uplinks: active uploads
-        receive an equal share (scaled by any per-user bandwidth-change
-        factor), re-paced whenever an upload starts, finishes, or a fault
-        fires — the fair-share cellular model."""
+        total capacity instead of owning private uplinks: transmitting
+        uploads receive an equal share capped at the device's own uplink
+        rate (scaled by any per-user bandwidth-change factor), re-paced
+        whenever an upload starts, finishes, or a fault fires — the
+        fair-share cellular model.  Stalled uploads (factor 0) keep
+        their place in the queue but do not count against the share."""
         for fault in self.faults:
             if isinstance(fault, BandwidthChange) and fault.user_id not in {
                 u.user_id for u in system.users
@@ -174,10 +176,11 @@ class SimulationEngine:
                 )
                 uplinks[user_id] = activity
                 if self.shared_uplink_capacity is None:
-                    queue.push(
-                        activity.completion_time(now),
-                        ("upload_done", user_id, activity.version),
-                    )
+                    completion = activity.completion_time(now)
+                    if not math.isinf(completion):
+                        queue.push(
+                            completion, ("upload_done", user_id, activity.version)
+                        )
                 else:
                     self._repace_shared(now, uplinks, bandwidth_factor, queue)
 
@@ -260,10 +263,12 @@ class SimulationEngine:
                             device = self.system.user(fault.user_id).device
                             activity.rate = device.bandwidth * fault.factor
                             activity.version += 1
-                            queue.push(
-                                activity.completion_time(now),
-                                ("upload_done", fault.user_id, activity.version),
-                            )
+                            completion = activity.completion_time(now)
+                            if not math.isinf(completion):
+                                queue.push(
+                                    completion,
+                                    ("upload_done", fault.user_id, activity.version),
+                                )
                 else:  # pragma: no cover - new fault kinds must be handled
                     raise TypeError(f"unhandled fault type {type(fault).__name__}")
 
@@ -281,22 +286,33 @@ class SimulationEngine:
     ) -> None:
         """Fair-share re-pacing of every active upload (shared channel).
 
-        Each active upload gets ``capacity / n_active`` scaled by its
-        user's bandwidth factor; versions bump so previously scheduled
-        completions become stale.
+        Each transmitting upload gets ``capacity / n_active`` — counting
+        only uploads whose bandwidth factor is non-zero, so a stalled
+        user does not hold a fair-share slot while moving no data — and
+        the share is capped at the device's own uplink ``b`` (spectrum
+        cannot make a handset faster than its radio), then scaled by the
+        user's bandwidth factor.  Versions bump so previously scheduled
+        completions become stale; stalled uploads get no completion
+        event at all (they would never fire) and are re-paced back in
+        when a recovery fault restores their factor.
         """
         if not uplinks:
             return
         assert self.shared_uplink_capacity is not None
-        share = self.shared_uplink_capacity / len(uplinks)
+        transmitting = sum(
+            1 for user_id in uplinks if bandwidth_factor[user_id] > _EPS
+        )
+        share = self.shared_uplink_capacity / max(1, transmitting)
         for user_id, activity in uplinks.items():
             activity.progress_to(now)
-            activity.rate = share * bandwidth_factor[user_id]
+            factor = bandwidth_factor[user_id]
+            device = self.system.user(user_id).device
+            activity.rate = min(share, device.bandwidth) * factor
             activity.version += 1
-            queue.push(
-                activity.completion_time(now),
-                ("upload_done", user_id, activity.version),
-            )
+            completion = activity.completion_time(now)
+            if math.isinf(completion):
+                continue
+            queue.push(completion, ("upload_done", user_id, activity.version))
 
     def _start_service(
         self,

@@ -56,7 +56,13 @@ class ServerOutage(Fault):
 
 @dataclass(frozen=True)
 class BandwidthChange(Fault):
-    """One user's uplink bandwidth is multiplied by ``factor``."""
+    """One user's uplink bandwidth is multiplied by ``factor``.
+
+    ``factor=0.0`` models a complete stall (deep fade, tunnel): the
+    upload stops moving data and — in shared-uplink mode — stops
+    counting against the fair-share denominator until a later
+    ``BandwidthChange`` restores a positive factor.
+    """
 
     user_id: str = ""
     factor: float = 0.5
@@ -65,4 +71,4 @@ class BandwidthChange(Fault):
         super().__post_init__()
         if not self.user_id:
             raise ValueError("BandwidthChange requires a user_id")
-        ensure_positive(self.factor, "factor")
+        ensure_non_negative(self.factor, "factor")

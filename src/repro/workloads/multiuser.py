@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.callgraph.model import FunctionCallGraph
 from repro.mec.admission import AllocationPolicy
+from repro.mec.channel import SharedChannel
 from repro.utils.rng import RandomSource
 from repro.mec.devices import EdgeServer, MobileDevice
 from repro.mec.system import MECSystem, UserContext
@@ -61,12 +62,15 @@ def build_mec_system(
     profile: ExperimentProfile,
     graph_size: int | None = None,
     allocation: AllocationPolicy | None = None,
+    channel: SharedChannel | None = None,
 ) -> MultiUserWorkload:
     """Build an *n_users* MEC system per *profile*.
 
     Each of the ``profile.distinct_graphs`` pool entries is generated with
     its own seed; user ``k`` runs pool entry ``k mod pool_size``.  The
     server's total capacity is ``server_capacity_per_user * n_users``.
+    With *channel*, users share that wireless spectrum (contention-aware
+    evaluation); without it every user keeps the paper's private ``b``.
     """
     if n_users < 1:
         raise ValueError(f"n_users must be >= 1, got {n_users}")
@@ -102,7 +106,9 @@ def build_mec_system(
         user_graph_index[user_id] = graph_index
 
     server = EdgeServer(total_capacity=profile.server_capacity_per_user * n_users)
-    system = MECSystem(server=server, users=users, allocation=allocation)
+    system = MECSystem(
+        server=server, users=users, allocation=allocation, channel=channel
+    )
     return MultiUserWorkload(
         system=system,
         call_graphs=call_graphs,

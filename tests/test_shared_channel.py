@@ -114,3 +114,73 @@ class TestSharedChannel:
         )
         # u1 (28 units) finishes upload before u2 (30) and is served first.
         assert shared.timeline("u1").service_start < shared.timeline("u2").service_start
+
+    def test_share_capped_at_device_bandwidth(self):
+        """Regression: a generous shared channel cannot outrun the device link.
+
+        The fair share used to be ``capacity / n`` with no cap, so a slow
+        handset on a fat channel uploaded impossibly fast (30 units in
+        0.03 s on a 20/s radio).
+        """
+        system, apps, placement = build({"u1": (1.0, 50.0, 30.0)})
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=1000.0
+        )
+        # 30 units at the device's own 20/s, not at the channel's 1000/s.
+        assert report.timeline("u1").upload_finish == pytest.approx(1.5)
+
+    def test_share_capped_per_user_under_contention(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system, apps, placement, shared_uplink_capacity=100.0
+        )
+        # Fair share is 50/s each but both radios top out at 20/s: the
+        # shared channel behaves exactly like private links.
+        assert report.timeline("u1").upload_finish == pytest.approx(1.5)
+        assert report.timeline("u2").upload_finish == pytest.approx(1.5)
+
+    def test_stalled_upload_frees_its_share(self):
+        """Regression: a factor-0 upload must not hold a fair-share slot.
+
+        A stalled user used to stay in the denominator forever, pinning
+        the survivor at ``capacity / 2`` while moving no data itself.
+        """
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system,
+            apps,
+            placement,
+            faults=[BandwidthChange(time=1.0, user_id="u1", factor=0.0)],
+            shared_uplink_capacity=20.0,
+        )
+        # Both at 10/s until t=1 (10 units each); u1 stalls, so u2 gets
+        # the whole channel (capped at its own 20/s link) and finishes
+        # its remaining 20 units at t=2 — not t=3 as under the old
+        # always-counted denominator.
+        assert report.timeline("u2").upload_finish == pytest.approx(2.0)
+        # The stalled upload never completes and never reaches the server.
+        assert report.timeline("u1").upload_finish == 0.0
+        assert report.timeline("u1").service_start == 0.0
+        # The run still terminates with a finite makespan.
+        assert report.makespan < float("inf")
+
+    def test_stalled_upload_resumes_on_recovery(self):
+        spec = {"u1": (1.0, 50.0, 30.0), "u2": (1.0, 50.0, 30.0)}
+        system, apps, placement = build(spec)
+        report = simulate_scheme(
+            system,
+            apps,
+            placement,
+            faults=[
+                BandwidthChange(time=1.0, user_id="u1", factor=0.0),
+                BandwidthChange(time=5.0, user_id="u1", factor=1.0),
+            ],
+            shared_uplink_capacity=20.0,
+        )
+        # u2 unaffected by the stall: full channel from t=1, done at t=2.
+        assert report.timeline("u2").upload_finish == pytest.approx(2.0)
+        # u1 sent 10 units before stalling; on recovery at t=5 it has the
+        # channel to itself (capped at 20/s) -> 20 remaining units, t=6.
+        assert report.timeline("u1").upload_finish == pytest.approx(6.0)
